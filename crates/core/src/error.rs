@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+use mimo_linalg::LinalgError;
+use mimo_sysid::SysidError;
+
+/// Errors produced during controller design and operation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// State-space matrices had inconsistent dimensions.
+    DimensionMismatch {
+        /// Description of the inconsistency.
+        what: String,
+    },
+    /// The Riccati iteration failed to converge — typically an
+    /// unstabilizable `(A, B)` pair or indefinite weights.
+    RiccatiDiverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Last residual observed.
+        residual: f64,
+    },
+    /// Weight matrices must be positive (semi-)definite diagonals.
+    BadWeights {
+        /// Description of the offending weight.
+        what: String,
+    },
+    /// The MIMO structural requirement `outputs <= inputs` (§III-B) was
+    /// violated, or no steady-state input exists for the requested
+    /// reference.
+    InfeasibleReference {
+        /// Description of the infeasibility.
+        what: String,
+    },
+    /// The designed closed loop failed validation (not stable, or not
+    /// robust at the requested uncertainty guardband).
+    ValidationFailed {
+        /// Which check failed.
+        what: String,
+    },
+    /// An underlying identification failure.
+    Sysid(SysidError),
+    /// An underlying linear-algebra failure.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::DimensionMismatch { what } => write!(f, "dimension mismatch: {what}"),
+            ControlError::RiccatiDiverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "riccati iteration diverged after {iterations} iterations (residual {residual:.3e})"
+            ),
+            ControlError::BadWeights { what } => write!(f, "bad weights: {what}"),
+            ControlError::InfeasibleReference { what } => {
+                write!(f, "infeasible reference: {what}")
+            }
+            ControlError::ValidationFailed { what } => write!(f, "validation failed: {what}"),
+            ControlError::Sysid(e) => write!(f, "identification failure: {e}"),
+            ControlError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for ControlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControlError::Sysid(e) => Some(e),
+            ControlError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SysidError> for ControlError {
+    fn from(e: SysidError) -> Self {
+        ControlError::Sysid(e)
+    }
+}
+
+impl From<LinalgError> for ControlError {
+    fn from(e: LinalgError) -> Self {
+        ControlError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ControlError::RiccatiDiverged {
+            iterations: 500,
+            residual: 1.0,
+        };
+        assert!(e.to_string().contains("500"));
+        let e2: ControlError = LinalgError::Singular.into();
+        assert!(e2.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<ControlError>();
+    }
+}

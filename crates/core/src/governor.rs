@@ -1,0 +1,127 @@
+//! The common per-epoch controller interface.
+//!
+//! Table IV compares four architectures — Baseline, Heuristic, Decoupled,
+//! and MIMO. All of them observe the outputs each epoch and produce the
+//! next actuation; [`Governor`] is that contract, so the experiment runner
+//! treats them uniformly.
+
+use mimo_linalg::Vector;
+
+use crate::lqg::LqgController;
+
+/// A controller that is invoked once per epoch.
+pub trait Governor {
+    /// Display name (used in experiment reports).
+    fn name(&self) -> &str;
+
+    /// Number of inputs the governor actuates.
+    fn num_inputs(&self) -> usize;
+
+    /// Updates the output reference targets (physical units).
+    fn set_targets(&mut self, y0: &Vector);
+
+    /// Consumes this epoch's measured outputs and returns the physical
+    /// actuation to apply for the next epoch. `phase_changed` reports a
+    /// program phase boundary (some governors re-plan on it).
+    fn decide(&mut self, y: &Vector, phase_changed: bool) -> Vector;
+
+    /// Clears runtime state (not the design).
+    fn reset(&mut self);
+}
+
+/// The Baseline architecture: a non-configurable design whose inputs are
+/// fixed at profiling-chosen values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedGovernor {
+    actuation: Vector,
+}
+
+impl FixedGovernor {
+    /// Creates a baseline that always applies `actuation`.
+    pub fn new(actuation: Vector) -> Self {
+        FixedGovernor { actuation }
+    }
+}
+
+impl Governor for FixedGovernor {
+    fn name(&self) -> &str {
+        "Baseline"
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.actuation.len()
+    }
+
+    fn set_targets(&mut self, _y0: &Vector) {}
+
+    fn decide(&mut self, _y: &Vector, _phase_changed: bool) -> Vector {
+        self.actuation.clone()
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// The MIMO architecture: wraps the LQG tracking controller.
+#[derive(Debug, Clone)]
+pub struct MimoGovernor {
+    ctrl: LqgController,
+}
+
+impl MimoGovernor {
+    /// Wraps a synthesized controller.
+    pub fn new(ctrl: LqgController) -> Self {
+        MimoGovernor { ctrl }
+    }
+
+    /// Borrows the underlying controller (e.g. for robustness analysis).
+    pub fn controller(&self) -> &LqgController {
+        &self.ctrl
+    }
+}
+
+impl Governor for MimoGovernor {
+    fn name(&self) -> &str {
+        "MIMO"
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.ctrl.num_inputs()
+    }
+
+    fn set_targets(&mut self, y0: &Vector) {
+        self.ctrl.set_reference(y0);
+    }
+
+    fn decide(&mut self, y: &Vector, _phase_changed: bool) -> Vector {
+        self.ctrl.step(y)
+    }
+
+    fn reset(&mut self) {
+        self.ctrl.reset_state();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_governor_is_constant() {
+        let mut g = FixedGovernor::new(Vector::from_slice(&[1.3, 6.0]));
+        g.set_targets(&Vector::from_slice(&[99.0, 99.0]));
+        let u1 = g.decide(&Vector::from_slice(&[0.0, 0.0]), false);
+        let u2 = g.decide(&Vector::from_slice(&[5.0, 5.0]), true);
+        assert_eq!(u1, u2);
+        assert_eq!(g.num_inputs(), 2);
+        assert_eq!(g.name(), "Baseline");
+        g.reset();
+        assert_eq!(g.decide(&Vector::zeros(2), false), u1);
+    }
+
+    #[test]
+    fn governor_trait_is_object_safe() {
+        let g = FixedGovernor::new(Vector::from_slice(&[1.0]));
+        let boxed: Box<dyn Governor> = Box::new(g);
+        assert_eq!(boxed.name(), "Baseline");
+    }
+}

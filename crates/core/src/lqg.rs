@@ -1,0 +1,648 @@
+//! The MIMO LQG tracking controller — the paper's central artifact.
+//!
+//! §III-A: "the LQG controller tries to minimize the sum of the squares of
+//! a set of costs … the differences between each output and its reference
+//! value, and between each input and the proposed new value of that input —
+//! the controller minimizes input changes to avoid quick jerks from steady
+//! state."
+//!
+//! That is a Δu-penalized tracking LQG. We augment the identified plant
+//! `x(t+1) = Ax + Bu, y = Cx + Du` (in normalized deviation coordinates
+//! around the steady state for the current reference) with the previous
+//! input and an error integrator:
+//!
+//! ```text
+//! z = [x̃; ũ₋₁; q],  q(t+1) = q + ỹ(t)
+//!
+//!     [A  B  0]       [B]
+//! Ā = [0  I  0],  B̄ = [I],   Δu = −F z
+//!     [C  D  I]       [D]
+//! ```
+//!
+//! LQR over `(Ā, B̄)` with cost `ỹᵀQỹ + qᵀ(ρQ)q + ΔuᵀRΔu` yields `F`; a
+//! steady-state Kalman filter over the identified noise covariances
+//! estimates `x`. The integral state guarantees zero steady-state offset
+//! despite model error; the Δu formulation implements the paper's
+//! control-effort weights. Finally, each input is quantized to its
+//! discrete actuator grid and the quantized value is fed back into the
+//! controller state (anti-windup against quantization).
+
+use mimo_linalg::{Matrix, Vector};
+use mimo_sysid::scale::ChannelScaler;
+
+use crate::kalman::KalmanFilter;
+use crate::lqr::{design_lqr, LqrGain};
+use crate::ss::StateSpace;
+use crate::{ControlError, Result};
+
+/// Bound on normalized inputs (slightly beyond the identification range so
+/// the controller can pin actuators at their ends).
+const U_CLAMP: f64 = 1.05;
+
+/// Bound on each integrator channel (anti-windup for infeasible
+/// references, e.g. non-responsive applications).
+const Q_CLAMP: f64 = 4.0;
+
+/// Integrator leak: the error integral decays by this factor per epoch.
+/// A pure integrator (leak = 1) is unstabilizable when the plant's DC gain
+/// is rank deficient — which genuinely happens here, because every knob
+/// moves IPS and power in nearly the same ratio. The leak keeps the
+/// augmented design solvable at the cost of a vanishing steady-state
+/// offset (scaled by `1 − leak`).
+const INTEGRATOR_LEAK: f64 = 0.995;
+
+/// Everything needed to synthesize an [`LqgController`].
+#[derive(Debug, Clone)]
+pub struct LqgDesign {
+    /// Identified plant model in normalized coordinates.
+    pub model: StateSpace,
+    /// Process-noise covariance (`N x N`).
+    pub process_noise: Matrix,
+    /// Measurement-noise covariance (`O x O`).
+    pub measurement_noise: Matrix,
+    /// Tracking-error cost diagonal (one weight per output) — the paper's
+    /// `Q` matrix.
+    pub output_weights: Vec<f64>,
+    /// Control-effort cost diagonal (one weight per input) — the paper's
+    /// `R` matrix, penalizing *changes* of each input.
+    pub input_weights: Vec<f64>,
+    /// Integral-action weight as a fraction of each output weight.
+    pub integral_weight: f64,
+    /// Physical-to-normalized map for the inputs.
+    pub input_scaler: ChannelScaler,
+    /// Physical-to-normalized map for the outputs.
+    pub output_scaler: ChannelScaler,
+    /// Allowed physical values per input (the actuator grids).
+    pub input_grids: Vec<Vec<f64>>,
+}
+
+impl LqgDesign {
+    /// Synthesizes the controller.
+    ///
+    /// # Errors
+    ///
+    /// * [`ControlError::DimensionMismatch`] — weights/scalers/grids don't
+    ///   match the model dimensions.
+    /// * [`ControlError::InfeasibleReference`] — more outputs than inputs
+    ///   (the MIMO structural limit of §III-B).
+    /// * [`ControlError::RiccatiDiverged`] / [`ControlError::BadWeights`] —
+    ///   synthesis failures from the LQR/Kalman stages.
+    pub fn build(self) -> Result<LqgController> {
+        let n = self.model.state_dim();
+        let i = self.model.num_inputs();
+        let o = self.model.num_outputs();
+        if o > i {
+            return Err(ControlError::InfeasibleReference {
+                what: format!("{o} outputs > {i} inputs; MIMO needs outputs <= inputs"),
+            });
+        }
+        if self.output_weights.len() != o || self.input_weights.len() != i {
+            return Err(ControlError::DimensionMismatch {
+                what: format!(
+                    "weights: {} output / {} input weights for an {o}-output {i}-input model",
+                    self.output_weights.len(),
+                    self.input_weights.len()
+                ),
+            });
+        }
+        if self.input_scaler.channels() != i
+            || self.output_scaler.channels() != o
+            || self.input_grids.len() != i
+        {
+            return Err(ControlError::DimensionMismatch {
+                what: "scaler or grid channel counts disagree with the model".into(),
+            });
+        }
+        if self.integral_weight <= 0.0 {
+            return Err(ControlError::BadWeights {
+                what: format!("integral weight {} must be positive", self.integral_weight),
+            });
+        }
+
+        // --- Augmented system -------------------------------------------
+        let a = self.model.a();
+        let b = self.model.b();
+        let c = self.model.c();
+        let d = self.model.d();
+        let z_dim = n + i + o;
+        let mut a_aug = Matrix::zeros(z_dim, z_dim);
+        a_aug.set_block(0, 0, a);
+        a_aug.set_block(0, n, b);
+        a_aug.set_block(n, n, &Matrix::identity(i));
+        a_aug.set_block(n + i, 0, c);
+        a_aug.set_block(n + i, n, d);
+        a_aug.set_block(n + i, n + i, &Matrix::identity(o).scale(INTEGRATOR_LEAK));
+        let mut b_aug = Matrix::zeros(z_dim, i);
+        b_aug.set_block(0, 0, b);
+        b_aug.set_block(n, 0, &Matrix::identity(i));
+        b_aug.set_block(n + i, 0, d);
+
+        // --- Cost --------------------------------------------------------
+        let q_out = Matrix::diag(&self.output_weights);
+        // M maps z to ỹ (ignoring the direct DΔu term, exact for strictly
+        // proper models).
+        let mut m = Matrix::zeros(o, z_dim);
+        m.set_block(0, 0, c);
+        m.set_block(0, n, d);
+        let mut q_aug = &(&m.transpose() * &q_out) * &m;
+        let q_int = q_out.scale(self.integral_weight);
+        for r in 0..o {
+            for cc in 0..o {
+                q_aug[(n + i + r, n + i + cc)] += q_int[(r, cc)];
+            }
+        }
+        // Small direct penalty on the held-input deviation. The u₋₁ memory
+        // has an open-loop eigenvalue of exactly 1; along any null
+        // direction of the plant gain it is invisible to the output cost,
+        // which would leave an undetectable marginal mode (LQR radius
+        // pinned at 1.0) and a drifting actuator. The ε makes every input
+        // direction detectable.
+        const UPREV_EPS: f64 = 2.0;
+        for k in 0..i {
+            q_aug[(n + k, n + k)] += UPREV_EPS;
+        }
+        let r_mat = Matrix::diag(&self.input_weights);
+
+        let lqr: LqrGain = design_lqr(&a_aug, &b_aug, &q_aug, &r_mat)?;
+        let kalman = KalmanFilter::design(
+            &self.model,
+            &self.process_noise,
+            &self.measurement_noise,
+        )?;
+
+        let mut ctrl = LqgController {
+            f: lqr.k,
+            closed_loop_radius: lqr.closed_loop_radius,
+            kalman,
+            xhat: Vector::zeros(n),
+            u_prev: Vector::zeros(i),
+            q_int: Vector::zeros(o),
+            y_ref_norm: Vector::zeros(o),
+            x_ss: Vector::zeros(n),
+            u_ss: Vector::zeros(i),
+            design: self,
+        };
+        // Initialize at a neutral reference (normalized zero = operating
+        // midpoint); callers set the real target afterwards.
+        ctrl.recompute_steady_state();
+        Ok(ctrl)
+    }
+}
+
+/// The synthesized MIMO LQG tracking controller.
+///
+/// Call [`LqgController::set_reference`] with physical targets, then
+/// [`LqgController::step`] once per epoch with the measured outputs; the
+/// returned vector is the physical, grid-quantized actuation to apply next.
+#[derive(Debug, Clone)]
+pub struct LqgController {
+    design: LqgDesign,
+    /// LQR gain over the augmented state.
+    f: Matrix,
+    closed_loop_radius: f64,
+    kalman: KalmanFilter,
+    // Runtime state (normalized coordinates).
+    xhat: Vector,
+    u_prev: Vector,
+    q_int: Vector,
+    y_ref_norm: Vector,
+    x_ss: Vector,
+    u_ss: Vector,
+}
+
+impl LqgController {
+    /// Number of actuated inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.design.model.num_inputs()
+    }
+
+    /// Number of tracked outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.design.model.num_outputs()
+    }
+
+    /// The identified model the controller was designed on.
+    pub fn model(&self) -> &StateSpace {
+        &self.design.model
+    }
+
+    /// The LQR gain `F` over `[x̃; ũ₋₁; q]`.
+    pub fn feedback_gain(&self) -> &Matrix {
+        &self.f
+    }
+
+    /// The Kalman filter used for state estimation.
+    pub fn kalman(&self) -> &KalmanFilter {
+        &self.kalman
+    }
+
+    /// Spectral radius of the nominal augmented closed loop (< 1 by
+    /// construction).
+    pub fn closed_loop_radius(&self) -> f64 {
+        self.closed_loop_radius
+    }
+
+    /// The design the controller was built from.
+    pub fn design(&self) -> &LqgDesign {
+        &self.design
+    }
+
+    /// Current physical reference targets.
+    pub fn reference(&self) -> Vector {
+        self.design.output_scaler.denormalize(&self.y_ref_norm)
+    }
+
+    /// Sets the physical output targets (e.g. `[2.5 BIPS, 2.0 W]`).
+    ///
+    /// Infeasible targets are accepted: the steady-state solve falls back
+    /// to the closest achievable point and the integrator clamp prevents
+    /// windup — matching the paper's non-responsive-application behavior,
+    /// where the controller gets as close as it can.
+    pub fn set_reference(&mut self, y0_physical: &Vector) {
+        self.y_ref_norm = self.design.output_scaler.normalize(y0_physical);
+        self.recompute_steady_state();
+    }
+
+    fn recompute_steady_state(&mut self) {
+        // Output-weighted, Tikhonov-regularized inversion of the DC gain:
+        //   u_ss = (Gᵀ Q G + λ I)⁻¹ Gᵀ Q y₀.
+        // Identified DC gains are frequently ill-conditioned (every knob
+        // moves both outputs in a similar ratio), and an exact solve then
+        // produces enormous opposite-signed feed-forward inputs that pin
+        // the actuators at their clamps. The ridge biases u_ss toward the
+        // operating midpoint; the integrator removes the residual offset.
+        let i = self.num_inputs();
+        let n = self.design.model.state_dim();
+        let u_ss = self
+            .design
+            .model
+            .dc_gain()
+            .ok()
+            .and_then(|g| {
+                let q = Matrix::diag(&self.design.output_weights);
+                let gtq = &g.transpose() * &q;
+                let gram = &gtq * &g;
+                let lambda = 0.05 * (gram.trace() / i as f64).max(1e-12);
+                let lhs = &gram + &Matrix::identity(i).scale(lambda);
+                let rhs = &gtq * &self.y_ref_norm.to_col_matrix();
+                lhs.solve(&rhs).ok().map(Vector::from)
+            })
+            .unwrap_or_else(|| Vector::zeros(i));
+        self.u_ss = u_ss.map(|v| v.clamp(-U_CLAMP, U_CLAMP));
+        // Propagate to the implied state.
+        let i_minus_a = Matrix::identity(n) - self.design.model.a();
+        self.x_ss = i_minus_a
+            .solve(&(self.design.model.b() * &self.u_ss.to_col_matrix()))
+            .map(Vector::from)
+            .unwrap_or_else(|_| Vector::zeros(n));
+    }
+
+    /// One control epoch: consumes the physical measurement `y(t)` and
+    /// returns the physical, quantized actuation `u(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y_physical` has the wrong dimension.
+    pub fn step(&mut self, y_physical: &Vector) -> Vector {
+        assert_eq!(
+            y_physical.len(),
+            self.num_outputs(),
+            "measurement dimension mismatch"
+        );
+        let y_norm = self.design.output_scaler.normalize(y_physical);
+
+        // Estimator update with the input actually applied last epoch.
+        self.xhat = self
+            .kalman
+            .update(&self.design.model, &self.xhat, &self.u_prev, &y_norm);
+
+        // Integrate the tracking error (leaky, with anti-windup clamp).
+        let err = &y_norm - &self.y_ref_norm;
+        self.q_int = &self.q_int.scale(INTEGRATOR_LEAK) + &err;
+        self.q_int = self.q_int.map(|v| v.clamp(-Q_CLAMP, Q_CLAMP));
+
+        // Δu = −F [x̃; ũ₋₁; q].
+        let x_dev = &self.xhat - &self.x_ss;
+        let u_dev = &self.u_prev - &self.u_ss;
+        let z = x_dev.concat(&u_dev).concat(&self.q_int);
+        let du = self.f.mul_vec(&z).expect("gain dim").scale(-1.0);
+
+        // Apply, clamp, quantize, and slew-limit to one grid step per
+        // epoch per input: ways are power-gated one at a time and DVFS
+        // relocks per step, and single-step motion stops the controller
+        // from reacting to its own transition stalls (§IV-B2's "smaller
+        // steps ... more effective control").
+        let u_raw = (&self.u_prev + &du).map(|v| v.clamp(-U_CLAMP, U_CLAMP));
+        let u_phys_raw = self.design.input_scaler.denormalize(&u_raw);
+        let u_prev_phys = self.design.input_scaler.denormalize(&self.u_prev);
+        let u_phys = Vector::from_fn(self.num_inputs(), |ch| {
+            let grid = &self.design.input_grids[ch];
+            let target = quantize_index(grid, u_phys_raw[ch]);
+            let current = quantize_index(grid, u_prev_phys[ch]);
+            let stepped = if target > current {
+                current + 1
+            } else if target < current {
+                current - 1
+            } else {
+                current
+            };
+            grid[stepped]
+        });
+        // Feed the *quantized* input back (anti-windup against rounding).
+        self.u_prev = self.design.input_scaler.normalize(&u_phys);
+        u_phys
+    }
+
+    /// Resets the runtime state (estimate, integrator, previous input)
+    /// without touching the design or the reference.
+    pub fn reset_state(&mut self) {
+        self.xhat = Vector::zeros(self.design.model.state_dim());
+        self.u_prev = Vector::zeros(self.num_inputs());
+        self.q_int = Vector::zeros(self.num_outputs());
+    }
+
+    /// Seeds the previous-input memory from a physical actuation (e.g. the
+    /// configuration the plant is currently running).
+    pub fn seed_input(&mut self, u_physical: &Vector) {
+        self.u_prev = self.design.input_scaler.normalize(u_physical);
+    }
+}
+
+/// Nearest-value quantization to a sorted grid.
+#[cfg(test)]
+fn quantize_to(grid: &[f64], v: f64) -> f64 {
+    grid[quantize_index(grid, v)]
+}
+
+/// Index of the nearest grid value.
+fn quantize_index(grid: &[f64], v: f64) -> usize {
+    debug_assert!(!grid.is_empty());
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &g) in grid.iter().enumerate() {
+        let d = (g - v).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A known 2-input 2-output plant for closed-loop tests:
+    /// x(t+1) = diag(0.7, 0.6)x + Bu, y = x, with cross coupling in B.
+    fn test_plant() -> StateSpace {
+        StateSpace::new(
+            Matrix::diag(&[0.7, 0.6]),
+            Matrix::from_rows(&[&[0.5, 0.2], &[0.1, 0.6]]),
+            Matrix::identity(2),
+            Matrix::zeros(2, 2),
+        )
+        .unwrap()
+    }
+
+    fn fine_grid() -> Vec<f64> {
+        (0..201).map(|i| -1.0 + 0.01 * i as f64).collect()
+    }
+
+    fn test_design(model: StateSpace, qw: &[f64], rw: &[f64]) -> LqgDesign {
+        let n = model.state_dim();
+        LqgDesign {
+            process_noise: Matrix::identity(n).scale(1e-4),
+            measurement_noise: Matrix::identity(model.num_outputs()).scale(1e-4),
+            output_weights: qw.to_vec(),
+            input_weights: rw.to_vec(),
+            integral_weight: 0.05,
+            input_scaler: ChannelScaler::from_ranges(&[(-1.0, 1.0), (-1.0, 1.0)]),
+            output_scaler: ChannelScaler::from_ranges(&[(-5.0, 5.0), (-5.0, 5.0)]),
+            // Fine grids so quantization barely interferes in unit tests.
+            input_grids: vec![fine_grid(), fine_grid()],
+            model,
+        }
+    }
+
+    /// Simulates the closed loop for `steps` epochs and returns the final
+    /// physical output.
+    fn run_closed_loop(
+        ctrl: &mut LqgController,
+        plant: &StateSpace,
+        y0: &Vector,
+        steps: usize,
+    ) -> Vector {
+        ctrl.set_reference(y0);
+        let out_scaler = ctrl.design().output_scaler.clone();
+        let in_scaler = ctrl.design().input_scaler.clone();
+        let mut x = Vector::zeros(plant.state_dim());
+        let mut y_phys = out_scaler.denormalize(&plant.c().mul_vec(&x).unwrap());
+        for _ in 0..steps {
+            let u_phys = ctrl.step(&y_phys);
+            let u_norm = in_scaler.normalize(&u_phys);
+            let (xn, y_norm) = plant.step(&x, &u_norm);
+            x = xn;
+            y_phys = out_scaler.denormalize(&y_norm);
+        }
+        y_phys
+    }
+
+    #[test]
+    fn tracks_a_feasible_mimo_reference() {
+        let plant = test_plant();
+        let mut ctrl = test_design(plant.clone(), &[10.0, 1000.0], &[0.01, 0.01])
+            .build()
+            .unwrap();
+        let y0 = Vector::from_slice(&[2.0, 1.0]);
+        let y = run_closed_loop(&mut ctrl, &plant, &y0, 400);
+        assert!(
+            (&y - &y0).norm_inf() < 0.05,
+            "tracking failed: y = {y:?}, target {y0:?}"
+        );
+    }
+
+    #[test]
+    fn integral_action_rejects_plant_gain_error() {
+        // Controller designed on the nominal model, but the true plant has
+        // 25% higher gain — integral action must still remove the offset.
+        let model = test_plant();
+        let true_plant = StateSpace::new(
+            model.a().clone(),
+            model.b().scale(1.25),
+            model.c().clone(),
+            model.d().clone(),
+        )
+        .unwrap();
+        let mut ctrl = test_design(model, &[10.0, 10.0], &[0.05, 0.05])
+            .build()
+            .unwrap();
+        let y0 = Vector::from_slice(&[1.5, -1.0]);
+        let y = run_closed_loop(&mut ctrl, &true_plant, &y0, 800);
+        assert!(
+            (&y - &y0).norm_inf() < 0.08,
+            "offset not rejected: {y:?} vs {y0:?}"
+        );
+    }
+
+    #[test]
+    fn output_weight_prioritizes_that_output() {
+        // Both outputs are driven by (almost) the same input direction, so
+        // the targets [1, -1] conflict: the loop must compromise. The
+        // heavily weighted output should end up closer to its target.
+        let plant = StateSpace::new(
+            Matrix::diag(&[0.5, 0.5]),
+            Matrix::from_rows(&[&[0.5, 0.02], &[0.5, -0.02]]),
+            Matrix::identity(2),
+            Matrix::zeros(2, 2),
+        )
+        .unwrap();
+        let y0 = Vector::from_slice(&[1.0, -1.0]);
+        let mut errs = Vec::new();
+        for qw in [[1.0, 1.0], [1.0, 400.0]] {
+            let mut ctrl = test_design(plant.clone(), &qw, &[0.01, 0.01])
+                .build()
+                .unwrap();
+            let y = run_closed_loop(&mut ctrl, &plant, &y0, 800);
+            errs.push((y[1] - y0[1]).abs());
+        }
+        assert!(
+            errs[1] < errs[0],
+            "weighting output 1 at 400x should shrink its error: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn higher_input_weight_slows_that_input() {
+        let plant = test_plant();
+        let y0 = Vector::from_slice(&[2.0, 2.0]);
+        // Under slew limiting, a heavier input weight shows up as a later
+        // first movement of that input (it takes longer for the accumulated
+        // error to justify paying the change cost).
+        let mut first_move_epoch = Vec::new();
+        for rw in [[0.01, 0.01], [0.01, 2000.0]] {
+            let mut design = test_design(plant.clone(), &[10.0, 10.0], &rw);
+            // Coarse grids: moving one step is a deliberate act, so the
+            // change-cost asymmetry becomes visible.
+            let coarse: Vec<f64> = (0..9).map(|i| -1.0 + 0.25 * i as f64).collect();
+            design.input_grids = vec![coarse.clone(), coarse];
+            let mut ctrl = design.build().unwrap();
+            ctrl.set_reference(&y0);
+            let start = ctrl.step(&Vector::from_slice(&[0.0, 0.0]))[1];
+            let mut moved_at = 200;
+            for t in 1..200 {
+                let u = ctrl.step(&Vector::from_slice(&[0.0, 0.0]));
+                if (u[1] - start).abs() > 1e-12 {
+                    moved_at = t;
+                    break;
+                }
+            }
+            first_move_epoch.push(moved_at);
+        }
+        assert!(
+            first_move_epoch[1] > first_move_epoch[0],
+            "heavy weight should delay input 1: {first_move_epoch:?}"
+        );
+    }
+
+    #[test]
+    fn infeasible_reference_saturates_without_windup() {
+        let plant = test_plant();
+        let mut ctrl = test_design(plant.clone(), &[10.0, 10.0], &[0.01, 0.01])
+            .build()
+            .unwrap();
+        // Far beyond the reachable set given u ∈ [-1, 1].
+        let y0 = Vector::from_slice(&[50.0, 50.0]);
+        let y = run_closed_loop(&mut ctrl, &plant, &y0, 500);
+        // Saturated but finite and stable.
+        assert!(y.all_finite());
+        // And the controller recovers promptly when the target becomes
+        // feasible again (windup would delay this for hundreds of epochs).
+        let y_ok = Vector::from_slice(&[1.0, 1.0]);
+        let y2 = run_closed_loop(&mut ctrl, &plant, &y_ok, 600);
+        assert!((&y2 - &y_ok).norm_inf() < 0.1, "recovery failed: {y2:?}");
+    }
+
+    #[test]
+    fn quantization_to_coarse_grid_still_converges_nearby() {
+        let plant = test_plant();
+        let mut design = test_design(plant.clone(), &[10.0, 10.0], &[0.05, 0.05]);
+        // Coarse 9-point grids.
+        design.input_grids = vec![
+            (0..9).map(|i| -1.0 + 0.25 * i as f64).collect(),
+            (0..9).map(|i| -1.0 + 0.25 * i as f64).collect(),
+        ];
+        let mut ctrl = design.build().unwrap();
+        let y0 = Vector::from_slice(&[1.2, 0.8]);
+        let y = run_closed_loop(&mut ctrl, &plant, &y0, 600);
+        // Within a quantization step of the target.
+        assert!((&y - &y0).norm_inf() < 0.6, "coarse tracking: {y:?}");
+    }
+
+    #[test]
+    fn rejects_more_outputs_than_inputs() {
+        // 1 input, 2 outputs.
+        let model = StateSpace::new(
+            Matrix::diag(&[0.5, 0.5]),
+            Matrix::from_rows(&[&[1.0], &[0.5]]),
+            Matrix::identity(2),
+            Matrix::zeros(2, 1),
+        )
+        .unwrap();
+        let design = LqgDesign {
+            process_noise: Matrix::identity(2).scale(1e-4),
+            measurement_noise: Matrix::identity(2).scale(1e-4),
+            output_weights: vec![1.0, 1.0],
+            input_weights: vec![1.0],
+            integral_weight: 0.05,
+            input_scaler: ChannelScaler::from_ranges(&[(-1.0, 1.0)]),
+            output_scaler: ChannelScaler::from_ranges(&[(-1.0, 1.0), (-1.0, 1.0)]),
+            input_grids: vec![fine_grid()],
+            model,
+        };
+        assert!(matches!(
+            design.build(),
+            Err(ControlError::InfeasibleReference { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let model = test_plant();
+        let mut d = test_design(model, &[1.0, 1.0], &[1.0, 1.0]);
+        d.output_weights = vec![1.0]; // wrong count
+        assert!(matches!(
+            d.build(),
+            Err(ControlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn closed_loop_radius_reported_stable() {
+        let ctrl = test_design(test_plant(), &[10.0, 100.0], &[0.1, 0.1])
+            .build()
+            .unwrap();
+        assert!(ctrl.closed_loop_radius() < 1.0);
+    }
+
+    #[test]
+    fn reset_and_seed() {
+        let mut ctrl = test_design(test_plant(), &[1.0, 1.0], &[1.0, 1.0])
+            .build()
+            .unwrap();
+        ctrl.set_reference(&Vector::from_slice(&[1.0, 1.0]));
+        let _ = ctrl.step(&Vector::from_slice(&[0.5, 0.2]));
+        ctrl.reset_state();
+        assert_eq!(ctrl.u_prev.norm_inf(), 0.0);
+        ctrl.seed_input(&Vector::from_slice(&[0.5, -0.5]));
+        assert!(ctrl.u_prev.norm_inf() > 0.0);
+    }
+
+    #[test]
+    fn quantize_to_picks_nearest() {
+        let grid = [0.0, 1.0, 2.0];
+        assert_eq!(quantize_to(&grid, 0.4), 0.0);
+        assert_eq!(quantize_to(&grid, 0.6), 1.0);
+        assert_eq!(quantize_to(&grid, 99.0), 2.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Robust Stability Analysis (RSA) — §IV-B4.
+//!
+//! "RSA checks whether a perturbation equal in magnitude to the
+//! uncertainty, if coming at the worst time and in the worst manner, can
+//! make the system unstable." We implement the standard small-gain test
+//! for multiplicative *output* uncertainty: the true plant output is
+//! `(I + Δ·W) y` with `‖Δ‖∞ ≤ 1` and `W = diag(guardbands)` (e.g. 50% for
+//! IPS, 30% for power). The closed loop is robustly stable if
+//!
+//! ```text
+//! ‖ W · T(z) ‖∞ < 1,   T = transfer from the output-injection point to y
+//! ```
+//!
+//! `T` is assembled in state-space from the plant model and the full
+//! controller (estimator + Δu feedback + integrator), and the H∞ norm is
+//! evaluated on a dense unit-circle frequency grid — a documented
+//! approximation of MATLAB's Robust Control Toolbox analysis.
+
+use mimo_linalg::{complex, eigen, Matrix};
+
+use crate::lqg::LqgController;
+use crate::ss::StateSpace;
+use crate::{ControlError, Result};
+
+/// Result of a robust stability analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustReport {
+    /// Spectral radius of the nominal closed loop (must be < 1).
+    pub nominal_radius: f64,
+    /// Peak of `‖W T(e^{jω})‖₂` over the frequency grid.
+    pub peak_weighted_gain: f64,
+    /// Largest uniform multiplicative uncertainty the loop tolerates
+    /// (`1 / ‖T‖∞` with unweighted outputs).
+    pub uniform_margin: f64,
+    /// Whether the loop passed the weighted small-gain test.
+    pub robust: bool,
+}
+
+/// Assembles the closed loop of `plant` and `ctrl` with a disturbance
+/// input `w` added to the *measured* output and the true output `y` as the
+/// system output. States: `[x_plant; x̂; u_prev; q]`.
+///
+/// # Errors
+///
+/// Returns [`ControlError::ValidationFailed`] for plants with direct
+/// feed-through (the analysis assumes strictly proper identified models)
+/// and [`ControlError::DimensionMismatch`] if plant and controller
+/// dimensions disagree.
+pub fn assemble_closed_loop(plant: &StateSpace, ctrl: &LqgController) -> Result<StateSpace> {
+    if plant.d().max_abs() > 1e-12 {
+        return Err(ControlError::ValidationFailed {
+            what: "RSA supports strictly proper plants (D = 0); identify without feed-through"
+                .into(),
+        });
+    }
+    let n = plant.state_dim();
+    let i = plant.num_inputs();
+    let o = plant.num_outputs();
+    let cn = ctrl.model().state_dim();
+    if ctrl.num_inputs() != i || ctrl.num_outputs() != o {
+        return Err(ControlError::DimensionMismatch {
+            what: format!(
+                "controller is {}x{}, plant is {i}x{o}",
+                ctrl.num_inputs(),
+                ctrl.num_outputs()
+            ),
+        });
+    }
+
+    // Partition the LQR gain F over [x̂(cn); u_prev(i); q(o)].
+    let f = ctrl.feedback_gain();
+    let fx = f.block(0, 0, i, cn);
+    let fu = f.block(0, cn, i, i);
+    let fq = f.block(0, cn + i, i, o);
+    let l = ctrl.kalman().gain().clone();
+
+    let am = ctrl.model().a();
+    let bm = ctrl.model().b();
+    let cm = ctrl.model().c();
+    let (ap, bp, cp) = (plant.a(), plant.b(), plant.c());
+
+    // u = −Fx x̂ + (I − Fu) u_prev − Fq q.
+    let i_minus_fu = &Matrix::identity(i) - &fu;
+    let neg_fx = fx.scale(-1.0);
+    let neg_fq = fq.scale(-1.0);
+
+    let dim = n + cn + i + o;
+    let mut a = Matrix::zeros(dim, dim);
+    // Plant row: x+ = Ap x + Bp u.
+    a.set_block(0, 0, ap);
+    a.set_block(0, n, &(bp * &neg_fx));
+    a.set_block(0, n + cn, &(bp * &i_minus_fu));
+    a.set_block(0, n + cn + i, &(bp * &neg_fq));
+    // Estimator row: x̂+ = L Cp x + (Am − Bm Fx − L Cm) x̂
+    //                 + Bm (I − Fu) u_prev − Bm Fq q + L w.
+    a.set_block(n, 0, &(&l * cp));
+    let est = &(am - &(bm * &fx)) - &(&l * cm);
+    a.set_block(n, n, &est);
+    a.set_block(n, n + cn, &(bm * &i_minus_fu));
+    a.set_block(n, n + cn + i, &(bm * &neg_fq));
+    // Input-memory row: u_prev+ = u.
+    a.set_block(n + cn, n, &neg_fx);
+    a.set_block(n + cn, n + cn, &i_minus_fu);
+    a.set_block(n + cn, n + cn + i, &neg_fq);
+    // Integrator row: q+ = Cp x + q + w.
+    a.set_block(n + cn + i, 0, cp);
+    a.set_block(n + cn + i, n + cn + i, &Matrix::identity(o));
+
+    // Disturbance input w enters the estimator (through L) and integrator.
+    let mut b = Matrix::zeros(dim, o);
+    b.set_block(n, 0, &l);
+    b.set_block(n + cn + i, 0, &Matrix::identity(o));
+
+    // Output: true plant output y = Cp x.
+    let mut c = Matrix::zeros(o, dim);
+    c.set_block(0, 0, cp);
+    let d = Matrix::zeros(o, o);
+
+    StateSpace::new(a, b, c, d)
+}
+
+/// Runs the robust stability analysis.
+///
+/// `guardbands` are the per-output relative uncertainty bounds (e.g.
+/// `[0.5, 0.3]` for 50% IPS / 30% power); `n_grid` is the number of
+/// frequency samples in `[0, π]` (the paper's Table III analysis is
+/// reproduced well with 256).
+///
+/// # Errors
+///
+/// Propagates assembly and numerical failures; an unstable *nominal* loop
+/// reports `robust = false` rather than erroring.
+pub fn analyze(
+    plant: &StateSpace,
+    ctrl: &LqgController,
+    guardbands: &[f64],
+    n_grid: usize,
+) -> Result<RobustReport> {
+    let o = plant.num_outputs();
+    if guardbands.len() != o {
+        return Err(ControlError::DimensionMismatch {
+            what: format!("{} guardbands for {o} outputs", guardbands.len()),
+        });
+    }
+    let cl = assemble_closed_loop(plant, ctrl)?;
+    let nominal_radius = eigen::spectral_radius(cl.a()).map_err(ControlError::Linalg)?;
+    if nominal_radius >= 1.0 {
+        return Ok(RobustReport {
+            nominal_radius,
+            peak_weighted_gain: f64::INFINITY,
+            uniform_margin: 0.0,
+            robust: false,
+        });
+    }
+    // Unweighted T for the uniform margin, weighted W·T for the test.
+    let mut peak_t = 0.0_f64;
+    let mut peak_wt = 0.0_f64;
+    let w_diag = Matrix::diag(guardbands);
+    let c_weighted = &w_diag * cl.c();
+    let n = n_grid.max(16);
+    for k in 0..n {
+        let omega = std::f64::consts::PI * k as f64 / (n - 1) as f64;
+        let g = complex::frequency_response(cl.a(), cl.b(), cl.c(), cl.d(), omega)
+            .map_err(ControlError::Linalg)?;
+        peak_t = peak_t.max(g.max_singular_value().map_err(ControlError::Linalg)?);
+        let gw = complex::frequency_response(cl.a(), cl.b(), &c_weighted, cl.d(), omega)
+            .map_err(ControlError::Linalg)?;
+        peak_wt = peak_wt.max(gw.max_singular_value().map_err(ControlError::Linalg)?);
+    }
+    Ok(RobustReport {
+        nominal_radius,
+        peak_weighted_gain: peak_wt,
+        uniform_margin: if peak_t > 0.0 { 1.0 / peak_t } else { f64::INFINITY },
+        robust: peak_wt < 1.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lqg::LqgDesign;
+    use mimo_sysid::scale::ChannelScaler;
+
+    fn fine_grid() -> Vec<f64> {
+        (0..201).map(|i| -1.0 + 0.01 * i as f64).collect()
+    }
+
+    fn plant_2x2() -> StateSpace {
+        StateSpace::new(
+            Matrix::diag(&[0.7, 0.6]),
+            Matrix::from_rows(&[&[0.5, 0.2], &[0.1, 0.6]]),
+            Matrix::identity(2),
+            Matrix::zeros(2, 2),
+        )
+        .unwrap()
+    }
+
+    fn build_ctrl(input_weights: &[f64]) -> LqgController {
+        LqgDesign {
+            model: plant_2x2(),
+            process_noise: Matrix::identity(2).scale(1e-4),
+            measurement_noise: Matrix::identity(2).scale(1e-4),
+            output_weights: vec![10.0, 10.0],
+            input_weights: input_weights.to_vec(),
+            integral_weight: 0.05,
+            input_scaler: ChannelScaler::from_ranges(&[(-1.0, 1.0), (-1.0, 1.0)]),
+            output_scaler: ChannelScaler::from_ranges(&[(-5.0, 5.0), (-5.0, 5.0)]),
+            input_grids: vec![fine_grid(), fine_grid()],
+        }
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn nominal_loop_is_stable() {
+        let ctrl = build_ctrl(&[0.1, 0.1]);
+        let report = analyze(&plant_2x2(), &ctrl, &[0.3, 0.3], 64).unwrap();
+        assert!(report.nominal_radius < 1.0);
+        assert!(report.uniform_margin > 0.0);
+    }
+
+    #[test]
+    fn cautious_design_is_more_robust() {
+        // Higher input weights (more cautious control, §IV-B4's remedy)
+        // should not shrink the stability margin.
+        let aggressive = build_ctrl(&[0.001, 0.001]);
+        let cautious = build_ctrl(&[1.0, 1.0]);
+        let ra = analyze(&plant_2x2(), &aggressive, &[0.3, 0.3], 64).unwrap();
+        let rc = analyze(&plant_2x2(), &cautious, &[0.3, 0.3], 64).unwrap();
+        assert!(
+            rc.uniform_margin >= ra.uniform_margin * 0.99,
+            "cautious margin {} vs aggressive {}",
+            rc.uniform_margin,
+            ra.uniform_margin
+        );
+    }
+
+    #[test]
+    fn huge_guardbands_fail_the_test() {
+        let ctrl = build_ctrl(&[0.1, 0.1]);
+        let report = analyze(&plant_2x2(), &ctrl, &[50.0, 50.0], 64).unwrap();
+        assert!(!report.robust, "50x uncertainty cannot be robust");
+    }
+
+    #[test]
+    fn weighted_gain_scales_with_guardbands() {
+        let ctrl = build_ctrl(&[0.1, 0.1]);
+        let small = analyze(&plant_2x2(), &ctrl, &[0.1, 0.1], 64).unwrap();
+        let large = analyze(&plant_2x2(), &ctrl, &[0.5, 0.5], 64).unwrap();
+        assert!((large.peak_weighted_gain / small.peak_weighted_gain - 5.0).abs() < 0.2);
+        // Uniform margin is guardband-independent.
+        assert!((large.uniform_margin - small.uniform_margin).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guardband_count_checked() {
+        let ctrl = build_ctrl(&[0.1, 0.1]);
+        assert!(analyze(&plant_2x2(), &ctrl, &[0.3], 32).is_err());
+    }
+
+    #[test]
+    fn feedthrough_plants_rejected() {
+        let ctrl = build_ctrl(&[0.1, 0.1]);
+        let plant_d = StateSpace::new(
+            Matrix::diag(&[0.7, 0.6]),
+            Matrix::from_rows(&[&[0.5, 0.2], &[0.1, 0.6]]),
+            Matrix::identity(2),
+            Matrix::identity(2), // D ≠ 0
+        )
+        .unwrap();
+        assert!(matches!(
+            assemble_closed_loop(&plant_d, &ctrl),
+            Err(ControlError::ValidationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn closed_loop_dimensions() {
+        let ctrl = build_ctrl(&[0.1, 0.1]);
+        let cl = assemble_closed_loop(&plant_2x2(), &ctrl).unwrap();
+        // plant(2) + estimator(2) + u_prev(2) + integrator(2).
+        assert_eq!(cl.state_dim(), 8);
+        assert_eq!(cl.num_inputs(), 2); // w
+        assert_eq!(cl.num_outputs(), 2); // y
+    }
+
+    #[test]
+    fn margin_predicts_actual_perturbation_tolerance() {
+        // Simulate the closed loop with a static gain perturbation just
+        // inside the uniform margin: it must remain stable.
+        let ctrl = build_ctrl(&[0.1, 0.1]);
+        let report = analyze(&plant_2x2(), &ctrl, &[0.3, 0.3], 128).unwrap();
+        let delta = (report.uniform_margin * 0.5).min(0.45);
+        // Perturbed plant: outputs scaled by (1 + delta).
+        let p = plant_2x2();
+        let perturbed = StateSpace::new(
+            p.a().clone(),
+            p.b().clone(),
+            p.c().scale(1.0 + delta),
+            p.d().clone(),
+        )
+        .unwrap();
+        let mut c = ctrl.clone();
+        c.set_reference(&mimo_linalg::Vector::from_slice(&[1.0, 1.0]));
+        let out_scaler = c.design().output_scaler.clone();
+        let in_scaler = c.design().input_scaler.clone();
+        let mut x = mimo_linalg::Vector::zeros(2);
+        let mut y_phys = out_scaler.denormalize(&mimo_linalg::Vector::zeros(2));
+        for _ in 0..1000 {
+            let u = c.step(&y_phys);
+            let (xn, y_norm) = perturbed.step(&x, &in_scaler.normalize(&u));
+            x = xn;
+            y_phys = out_scaler.denormalize(&y_norm);
+            assert!(y_phys.all_finite());
+        }
+        assert!(x.norm_inf() < 100.0, "diverged under tolerated perturbation");
+    }
+}

@@ -1,0 +1,346 @@
+//! Discrete-time state-space systems — the paper's Equations (1)–(2):
+//!
+//! ```text
+//! x(t+1) = A x(t) + B u(t)
+//! y(t)   = C x(t) + D u(t)
+//! ```
+
+use mimo_linalg::{Matrix, Vector};
+use mimo_sysid::realize::Realization;
+
+use crate::{ControlError, Result};
+
+/// A discrete-time linear system `(A, B, C, D)`.
+///
+/// # Example
+///
+/// ```
+/// use mimo_core::StateSpace;
+/// use mimo_linalg::Matrix;
+///
+/// # fn main() -> Result<(), mimo_core::ControlError> {
+/// let sys = StateSpace::new(
+///     Matrix::from_rows(&[&[0.5]]),
+///     Matrix::from_rows(&[&[1.0]]),
+///     Matrix::from_rows(&[&[1.0]]),
+///     Matrix::zeros(1, 1),
+/// )?;
+/// // DC gain of y(t+1)=0.5y+u is 1/(1-0.5) = 2.
+/// assert!((sys.dc_gain()?[(0, 0)] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSpace {
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    d: Matrix,
+}
+
+impl StateSpace {
+    /// Creates a system, checking dimensional consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::DimensionMismatch`] if the shapes do not
+    /// form a valid `(A, B, C, D)` quadruple.
+    pub fn new(a: Matrix, b: Matrix, c: Matrix, d: Matrix) -> Result<Self> {
+        let n = a.rows();
+        if !a.is_square() {
+            return Err(ControlError::DimensionMismatch {
+                what: format!("A must be square, got {:?}", a.shape()),
+            });
+        }
+        if b.rows() != n {
+            return Err(ControlError::DimensionMismatch {
+                what: format!("B has {} rows, state dim is {n}", b.rows()),
+            });
+        }
+        if c.cols() != n {
+            return Err(ControlError::DimensionMismatch {
+                what: format!("C has {} cols, state dim is {n}", c.cols()),
+            });
+        }
+        if d.shape() != (c.rows(), b.cols()) {
+            return Err(ControlError::DimensionMismatch {
+                what: format!(
+                    "D is {:?}, expected ({}, {})",
+                    d.shape(),
+                    c.rows(),
+                    b.cols()
+                ),
+            });
+        }
+        Ok(StateSpace { a, b, c, d })
+    }
+
+    /// State dimension `N`.
+    pub fn state_dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of inputs `I`.
+    pub fn num_inputs(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Number of outputs `O`.
+    pub fn num_outputs(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// The evolution matrix `A`.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The input matrix `B`.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// The output matrix `C`.
+    pub fn c(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// The feed-through matrix `D`.
+    pub fn d(&self) -> &Matrix {
+        &self.d
+    }
+
+    /// Advances one step: `(x_next, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `u` have wrong dimensions.
+    pub fn step(&self, x: &Vector, u: &Vector) -> (Vector, Vector) {
+        let xn = &self.a.mul_vec(x).expect("x dim") + &self.b.mul_vec(u).expect("u dim");
+        let y = &self.c.mul_vec(x).expect("x dim") + &self.d.mul_vec(u).expect("u dim");
+        (xn, y)
+    }
+
+    /// Simulates the output sequence from `x0` under `inputs`.
+    pub fn simulate(&self, x0: &Vector, inputs: &[Vector]) -> Vec<Vector> {
+        let mut x = x0.clone();
+        inputs
+            .iter()
+            .map(|u| {
+                let (xn, y) = self.step(&x, u);
+                x = xn;
+                y
+            })
+            .collect()
+    }
+
+    /// Steady-state (DC) gain `C (I − A)⁻¹ B + D`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::Linalg`] if `I − A` is singular (a pole at
+    /// `z = 1`).
+    pub fn dc_gain(&self) -> Result<Matrix> {
+        let n = self.state_dim();
+        let i_minus_a = Matrix::identity(n) - &self.a;
+        let x = i_minus_a.solve(&self.b)?;
+        Ok(&self.c * &x + &self.d)
+    }
+
+    /// Solves for a steady state `(x_ss, u_ss)` with `y_ss = y0`:
+    ///
+    /// ```text
+    /// [A − I  B] [x_ss]   [0 ]
+    /// [C      D] [u_ss] = [y0]
+    /// ```
+    ///
+    /// With more inputs than outputs the system is underdetermined and the
+    /// minimum-norm solution is returned (via SVD pseudo-inverse).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InfeasibleReference`] if no steady state
+    /// achieves `y0` (e.g. an unreachable target), and propagates linear
+    /// algebra failures.
+    pub fn steady_state_for(&self, y0: &Vector) -> Result<(Vector, Vector)> {
+        let n = self.state_dim();
+        let i = self.num_inputs();
+        let o = self.num_outputs();
+        if y0.len() != o {
+            return Err(ControlError::DimensionMismatch {
+                what: format!("reference has {} entries, plant has {o} outputs", y0.len()),
+            });
+        }
+        let a_minus_i = &self.a - &Matrix::identity(n);
+        let top = Matrix::hstack(&a_minus_i, &self.b).map_err(ControlError::Linalg)?;
+        let bottom = Matrix::hstack(&self.c, &self.d).map_err(ControlError::Linalg)?;
+        let m = Matrix::vstack(&top, &bottom).map_err(ControlError::Linalg)?;
+        let mut rhs = Matrix::zeros(n + o, 1);
+        for k in 0..o {
+            rhs[(n + k, 0)] = y0[k];
+        }
+        let pinv = mimo_linalg::svd::Svd::new(&m)
+            .map_err(ControlError::Linalg)?
+            .pseudo_inverse(1e-10);
+        let sol = &pinv * &rhs;
+        // Verify the solution actually satisfies the equations (the
+        // pseudo-inverse silently returns a least-squares fit otherwise).
+        let resid = (&(&m * &sol) - &rhs).max_abs();
+        let scale = y0.norm_inf().max(1.0);
+        if resid > 1e-6 * scale {
+            return Err(ControlError::InfeasibleReference {
+                what: format!("no steady state reaches the reference (residual {resid:.3e})"),
+            });
+        }
+        let x_ss = Vector::from(sol.block(0, 0, n, 1));
+        let u_ss = Vector::from(sol.block(n, 0, i, 1));
+        Ok((x_ss, u_ss))
+    }
+
+    /// Spectral radius of `A` — below 1 means open-loop stable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigenvalue failures.
+    pub fn spectral_radius(&self) -> Result<f64> {
+        Ok(mimo_linalg::eigen::spectral_radius(&self.a)?)
+    }
+}
+
+impl From<Realization> for StateSpace {
+    fn from(r: Realization) -> Self {
+        // A Realization is dimensionally consistent by construction.
+        StateSpace {
+            a: r.a,
+            b: r.b,
+            c: r.c,
+            d: r.d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_lag(pole: f64, gain: f64) -> StateSpace {
+        StateSpace::new(
+            Matrix::from_rows(&[&[pole]]),
+            Matrix::from_rows(&[&[gain]]),
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let bad = StateSpace::new(
+            Matrix::zeros(2, 3),
+            Matrix::zeros(2, 1),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(1, 1),
+        );
+        assert!(matches!(bad, Err(ControlError::DimensionMismatch { .. })));
+        let bad_b = StateSpace::new(
+            Matrix::identity(2),
+            Matrix::zeros(3, 1),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(1, 1),
+        );
+        assert!(bad_b.is_err());
+        let bad_d = StateSpace::new(
+            Matrix::identity(2),
+            Matrix::zeros(2, 1),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(2, 2),
+        );
+        assert!(bad_d.is_err());
+    }
+
+    #[test]
+    fn step_and_simulate_agree() {
+        let sys = scalar_lag(0.5, 1.0);
+        let inputs = vec![Vector::from_slice(&[1.0]); 5];
+        let ys = sys.simulate(&Vector::zeros(1), &inputs);
+        // y(t) = x(t); x: 0, 1, 1.5, 1.75, 1.875
+        assert!((ys[0][0] - 0.0).abs() < 1e-12);
+        assert!((ys[4][0] - 1.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_gain_scalar() {
+        let sys = scalar_lag(0.8, 0.4);
+        assert!((sys.dc_gain().unwrap()[(0, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_square_system() {
+        let sys = scalar_lag(0.5, 1.0);
+        let (x_ss, u_ss) = sys.steady_state_for(&Vector::from_slice(&[4.0])).unwrap();
+        // y = x = 4 needs u = (1-0.5)*4 = 2.
+        assert!((x_ss[0] - 4.0).abs() < 1e-9);
+        assert!((u_ss[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_wide_system_min_norm() {
+        // Two inputs, one output: y = x, x(t+1) = 0.5x + u1 + u2.
+        let sys = StateSpace::new(
+            Matrix::from_rows(&[&[0.5]]),
+            Matrix::from_rows(&[&[1.0, 1.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::zeros(1, 2),
+        )
+        .unwrap();
+        let (x_ss, u_ss) = sys.steady_state_for(&Vector::from_slice(&[2.0])).unwrap();
+        assert!((x_ss[0] - 2.0).abs() < 1e-9);
+        // Min-norm split: u1 = u2 = 0.5.
+        assert!((u_ss[0] - 0.5).abs() < 1e-9);
+        assert!((u_ss[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_infeasible_when_unreachable() {
+        // Output decoupled from input: x2 unreachable, y = x2.
+        let sys = StateSpace::new(
+            Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 0.5]]),
+            Matrix::from_rows(&[&[1.0], &[0.0]]),
+            Matrix::from_rows(&[&[0.0, 1.0]]),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        assert!(matches!(
+            sys.steady_state_for(&Vector::from_slice(&[1.0])),
+            Err(ControlError::InfeasibleReference { .. })
+        ));
+    }
+
+    #[test]
+    fn spectral_radius_works() {
+        let sys = scalar_lag(-0.7, 1.0);
+        assert!((sys.spectral_radius().unwrap() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_realization() {
+        let r = Realization {
+            a: Matrix::diag(&[0.5, 0.2]),
+            b: Matrix::from_fn(2, 1, |_, _| 1.0),
+            c: Matrix::from_fn(1, 2, |_, _| 1.0),
+            d: Matrix::zeros(1, 1),
+        };
+        let ss = StateSpace::from(r);
+        assert_eq!(ss.state_dim(), 2);
+        assert_eq!(ss.num_inputs(), 1);
+        assert_eq!(ss.num_outputs(), 1);
+    }
+
+    #[test]
+    fn reference_dimension_checked() {
+        let sys = scalar_lag(0.5, 1.0);
+        assert!(sys
+            .steady_state_for(&Vector::from_slice(&[1.0, 2.0]))
+            .is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the control layer's guarantees.
+
+use mimo_core::dare::{gain_from, residual, solve_dare};
+use mimo_core::kalman::KalmanFilter;
+use mimo_core::lqr::design_lqr;
+use mimo_core::optimizer::{Metric, Optimizer};
+use mimo_core::ss::StateSpace;
+use mimo_linalg::{eigen, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a stable-ish random system with full-rank input coupling.
+fn stabilizable_pair(n: usize, m: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (
+        proptest::collection::vec(-1.0..1.0f64, n * n),
+        proptest::collection::vec(-1.0..1.0f64, n * m),
+    )
+        .prop_map(move |(av, bv)| {
+            let a0 = Matrix::from_vec(n, n, av);
+            // Scale to spectral-norm-ish ≤ 1.2 so the pair is stabilizable
+            // with the identity-coupled B below.
+            let a = a0.scale(1.2 / a0.norm_inf().max(1e-6));
+            let mut b = Matrix::from_vec(n, m, bv);
+            // Guarantee actuation authority on every state.
+            for i in 0..n {
+                b[(i, i % m)] += 1.5;
+            }
+            (a, b)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dare_solution_satisfies_the_equation((a, b) in stabilizable_pair(3, 2)) {
+        let q = Matrix::identity(3);
+        let r = Matrix::identity(2);
+        if let Ok(p) = solve_dare(&a, &b, &q, &r) {
+            let res = residual(&a, &b, &q, &r, &p).unwrap();
+            prop_assert!(res < 1e-6 * p.max_abs().max(1.0), "residual {res}");
+            // P is symmetric PSD (diagonal non-negative).
+            for i in 0..3 {
+                prop_assert!(p[(i, i)] >= -1e-9);
+                for j in 0..3 {
+                    prop_assert!((p[(i, j)] - p[(j, i)]).abs() < 1e-8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lqr_closed_loop_is_schur_stable((a, b) in stabilizable_pair(4, 2)) {
+        let q = Matrix::identity(4);
+        let r = Matrix::identity(2).scale(0.5);
+        if let Ok(gain) = design_lqr(&a, &b, &q, &r) {
+            let acl = &a - &(&b * &gain.k);
+            let rho = eigen::spectral_radius(&acl).unwrap();
+            prop_assert!(rho < 1.0, "closed-loop radius {rho}");
+            prop_assert!((rho - gain.closed_loop_radius).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lqr_gain_matches_dare_formula((a, b) in stabilizable_pair(3, 1)) {
+        let q = Matrix::identity(3).scale(2.0);
+        let r = Matrix::identity(1);
+        if let Ok(p) = solve_dare(&a, &b, &q, &r) {
+            let k = gain_from(&a, &b, &r, &p).unwrap();
+            // K = (R + BᵀPB)⁻¹ BᵀPA by construction.
+            let btp = &b.transpose() * &p;
+            let lhs = &(&r + &(&btp * &b)) * &k;
+            let rhs = &btp * &a;
+            prop_assert!((&lhs - &rhs).max_abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn kalman_estimator_is_stable((a, c_t) in stabilizable_pair(3, 2)) {
+        // Duality: a stabilizable (Aᵀ, Cᵀ) pair gives a detectable (A, C).
+        let c = c_t.transpose();
+        let sys = StateSpace::new(
+            a.transpose(),
+            Matrix::zeros(3, 1),
+            c,
+            Matrix::zeros(2, 1),
+        )
+        .unwrap();
+        let w = Matrix::identity(3).scale(0.1);
+        let v = Matrix::identity(2).scale(0.1);
+        if let Ok(kf) = KalmanFilter::design(&sys, &w, &v) {
+            prop_assert!(kf.estimator_radius() < 1.0);
+            // Covariance diagonal is non-negative.
+            for i in 0..3 {
+                prop_assert!(kf.covariance()[(i, i)] >= -1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_gain_matches_long_run_step_response((a, b) in stabilizable_pair(3, 2)) {
+        // Make A strictly stable for open-loop simulation.
+        let a = a.scale(0.6 / a.norm_inf().max(1e-6));
+        let c = Matrix::identity(3);
+        let sys = StateSpace::new(a, b, c, Matrix::zeros(3, 2)).unwrap();
+        let dc = sys.dc_gain().unwrap();
+        // Step on input 0.
+        let u = mimo_linalg::Vector::from_slice(&[1.0, 0.0]);
+        let mut x = mimo_linalg::Vector::zeros(3);
+        let mut y = mimo_linalg::Vector::zeros(3);
+        for _ in 0..400 {
+            let (xn, yn) = sys.step(&x, &u);
+            x = xn;
+            y = yn;
+        }
+        for i in 0..3 {
+            prop_assert!((y[i] - dc[(i, 0)]).abs() < 1e-6, "row {i}: {} vs {}", y[i], dc[(i, 0)]);
+        }
+    }
+
+    #[test]
+    fn optimizer_terminates_and_holds_best(
+        max_tries in 1usize..15,
+        scores in proptest::collection::vec((0.1..5.0f64, 0.1..5.0f64), 20)
+    ) {
+        let mut opt = Optimizer::new(Metric::EnergyDelay, 1.0, 1.0, max_tries);
+        let mut best = f64::NEG_INFINITY;
+        let mut iter = scores.into_iter();
+        let mut used = 0;
+        loop {
+            let (ips, p) = iter.next().unwrap();
+            best = best.max(Metric::EnergyDelay.score(ips, p));
+            used += 1;
+            if opt.observe(ips, p).is_none() {
+                break;
+            }
+            prop_assert!(used <= max_tries);
+        }
+        prop_assert!(opt.is_done());
+        prop_assert_eq!(opt.tries_used(), max_tries);
+        // Held targets correspond to the best achieved point.
+        let held = opt.targets();
+        let held_score = Metric::EnergyDelay.score(held[0], held[1]);
+        prop_assert!((held_score - best).abs() < 1e-9, "{held_score} vs {best}");
+    }
+
+    #[test]
+    fn metric_scores_are_monotone(ips in 0.1..5.0f64, p in 0.1..5.0f64) {
+        for m in [Metric::Energy, Metric::EnergyDelay, Metric::EnergyDelaySquared] {
+            // More IPS at the same power is always at least as good.
+            prop_assert!(m.score(ips * 1.1, p) >= m.score(ips, p));
+            // More power at the same IPS is always worse.
+            prop_assert!(m.score(ips, p * 1.1) < m.score(ips, p));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Runs the complete evaluation suite (every figure and table).
+use mimo_core::optimizer::Metric;
+use mimo_exp::experiments::{self, ExpConfig};
+use mimo_sim::InputSet;
+fn main() {
+    let cfg = ExpConfig::full();
+    println!("### Figure 6 — weight sensitivity");
+    experiments::fig06(&cfg).expect("fig06");
+    println!("### Figure 7 — model dimension");
+    experiments::fig07(&cfg).expect("fig07");
+    println!("### Figure 8 — uncertainty guardbands");
+    experiments::fig08(&cfg).expect("fig08");
+    println!("### Figure 11 — tracking multiple references");
+    experiments::fig11(&cfg).expect("fig11");
+    println!("### Figure 12 — time-varying tracking");
+    experiments::fig12(&cfg).expect("fig12");
+    println!("### Figure 9 — E×D, 2 inputs");
+    experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::EnergyDelay).expect("fig09");
+    println!("### Figure 10 — E×D, 3 inputs");
+    experiments::optimization_experiment(&cfg, InputSet::FreqCacheRob, Metric::EnergyDelay).expect("fig10");
+    println!("### §VIII-F — E and E×D²");
+    experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::Energy).expect("E");
+    experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::EnergyDelaySquared).expect("ED2");
+    println!("done; CSVs in results/");
+}

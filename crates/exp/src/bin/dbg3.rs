@@ -1,0 +1,37 @@
+use mimo_exp::setup;
+use mimo_linalg::Vector;
+use mimo_sim::InputSet;
+
+fn main() {
+    for seed in [1u64, 2, 3, 5, 7, 11] {
+        match setup::design_mimo(InputSet::FreqCache, seed) {
+            Ok(v) => {
+                let dc = v.model.dc_gain().unwrap();
+                println!("2in seed {seed}: dc = [{:.3} {:.3}; {:.3} {:.3}] gb {:?} redesigns {}",
+                    dc[(0,0)], dc[(0,1)], dc[(1,0)], dc[(1,1)], v.guardbands, v.redesigns);
+            }
+            Err(e) => println!("2in seed {seed}: FAILED {e}"),
+        }
+    }
+    for seed in [11u64, 2, 5] {
+        match setup::design_mimo(InputSet::FreqCacheRob, seed) {
+            Ok(v) => {
+                let dc = v.model.dc_gain().unwrap();
+                println!("3in seed {seed}: dc row0 [{:.3} {:.3} {:.3}] row1 [{:.3} {:.3} {:.3}]",
+                    dc[(0,0)], dc[(0,1)], dc[(0,2)], dc[(1,0)], dc[(1,1)], dc[(1,2)]);
+            }
+            Err(e) => println!("3in seed {seed}: FAILED {e}"),
+        }
+    }
+    // behavior of seed 2 controller
+    let v = setup::design_mimo(InputSet::FreqCache, 2).unwrap();
+    let mut ctrl = v.controller;
+    ctrl.set_reference(&Vector::from_slice(&[2.5, 2.0]));
+    let mut plant = setup::plant("namd", InputSet::FreqCache, 3);
+    let mut y = Vector::from_slice(&[1.0, 1.0]);
+    for t in 0..600 {
+        let u = ctrl.step(&y);
+        y = mimo_sim::Plant::apply(&mut plant, &u);
+        if t % 100 == 0 { println!("t={t} u=[{:.2},{:.0}] y=[{:.2},{:.2}]", u[0], u[1], y[0], y[1]); }
+    }
+}

@@ -1,0 +1,5 @@
+//! Figure 6 / Table V: impact of input and output weight choices.
+fn main() {
+    let cfg = mimo_exp::experiments::ExpConfig::full();
+    mimo_exp::experiments::fig06(&cfg).expect("fig06");
+}

@@ -1,0 +1,5 @@
+//! Figure 7: maximum model prediction error vs model dimension.
+fn main() {
+    let cfg = mimo_exp::experiments::ExpConfig::full();
+    mimo_exp::experiments::fig07(&cfg).expect("fig07");
+}

@@ -1,0 +1,5 @@
+//! Figure 8: time to steady state for High vs Low uncertainty guardbands.
+fn main() {
+    let cfg = mimo_exp::experiments::ExpConfig::full();
+    mimo_exp::experiments::fig08(&cfg).expect("fig08");
+}

@@ -1,0 +1,5 @@
+//! Figure 11: tracking multiple references across the production set.
+fn main() {
+    let cfg = mimo_exp::experiments::ExpConfig::full();
+    mimo_exp::experiments::fig11(&cfg).expect("fig11");
+}

@@ -1,0 +1,5 @@
+//! Figure 12: time-varying (battery/QoE) tracking on astar and milc.
+fn main() {
+    let cfg = mimo_exp::experiments::ExpConfig::full();
+    mimo_exp::experiments::fig12(&cfg).expect("fig12");
+}

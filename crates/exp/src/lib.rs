@@ -1,0 +1,45 @@
+//! # mimo-exp
+//!
+//! The experiment harness: regenerates every figure and table of the
+//! paper's evaluation (§VII–VIII) against the `mimo-sim` plant, comparing
+//! the four architectures of Table IV (Baseline, Heuristic, Decoupled,
+//! MIMO).
+//!
+//! Each `fig*` binary reproduces one paper artifact and writes a CSV next
+//! to a printed summary:
+//!
+//! | binary    | paper artifact | what it reports |
+//! |-----------|----------------|-----------------|
+//! | `fig06`   | Figure 6 + Table V | weight-choice sensitivity on `namd` |
+//! | `fig07`   | Figure 7 | max model error vs state dimension |
+//! | `fig08`   | Figure 8 | convergence epochs, high vs low guardbands |
+//! | `fig09`   | Figure 9 | E×D vs Baseline, 2 inputs, per app |
+//! | `fig10`   | Figure 10 | E×D vs Baseline, 3 inputs, per app |
+//! | `fig11`   | Figure 11 | tracking-error scatter, responsive / non-responsive |
+//! | `fig12`   | Figure 12 | time-varying (QoE/battery) tracking traces |
+//! | `tab_opt` | §VIII-F text | E and E×D² reductions |
+//! | `all`     | everything | runs the full suite |
+//!
+//! The library half holds the pieces the binaries share: controller
+//! construction ([`setup`]), the epoch-loop drivers and metrics
+//! ([`runner`]), the battery/QoE reference schedule ([`qoe`]), and CSV /
+//! table output ([`report`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod qoe;
+pub mod report;
+pub mod runner;
+pub mod setup;
+
+/// The fixed tracking targets of §VII-B1. The paper uses 2.5 BIPS / 2 W,
+/// chosen by a design-space exploration so the IPS target is aggressive —
+/// "infeasible for highly memory-bound applications" and a stretch even
+/// for the rest. Our plant's efficiency frontier sits slightly higher, so
+/// the equivalent aggressive point is 3.0 BIPS at 1.9 W (see
+/// EXPERIMENTS.md for the calibration).
+pub const TARGET_IPS: f64 = 3.0;
+/// See [`TARGET_IPS`].
+pub const TARGET_POWER: f64 = 1.9;

@@ -1,0 +1,120 @@
+//! Battery/QoE reference schedule for time-varying tracking (§VII-B2).
+//!
+//! The paper models a handheld whose OS lowers the (IPS, power) targets as
+//! the battery drains, using the QoE and battery-charge models of Yan et
+//! al. [36], with reference changes every 2 000 epochs and a total energy
+//! supply of 1 J. We reproduce the *shape*: a QoE-style utility keeps the
+//! performance target high while charge is plentiful and degrades it
+//! steeply as the battery empties, with the power target following.
+
+use mimo_linalg::Vector;
+
+use crate::runner::ReferenceStep;
+
+/// Battery-aware reference generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatterySchedule {
+    /// Total energy supply in joules (the paper uses 1 J).
+    pub supply_j: f64,
+    /// Epochs between target updates (the paper uses 2 000).
+    pub update_epochs: usize,
+    /// Target outputs at full charge: `[IPS, power]`.
+    pub full_targets: Vector,
+    /// Floor the targets never drop below (device keeps running).
+    pub min_fraction: f64,
+}
+
+impl BatterySchedule {
+    /// The paper's configuration: 1 J supply, updates every 2 000 epochs,
+    /// full-charge targets of 2.5 BIPS / 2 W, floor at 20%.
+    pub fn paper_default() -> Self {
+        BatterySchedule {
+            supply_j: 1.0,
+            update_epochs: 2000,
+            full_targets: Vector::from_slice(&[crate::TARGET_IPS, crate::TARGET_POWER]),
+            min_fraction: 0.2,
+        }
+    }
+
+    /// QoE-style scaling: utility stays near 1 above half charge and falls
+    /// off quadratically below (low-battery anxiety region of [36]).
+    pub fn target_fraction(&self, charge_fraction: f64) -> f64 {
+        let c = charge_fraction.clamp(0.0, 1.0);
+        let f = if c >= 0.5 {
+            0.85 + 0.15 * (c - 0.5) / 0.5
+        } else {
+            // Quadratic rolloff below half charge.
+            0.85 * (c / 0.5).powi(2).max(0.0)
+        };
+        f.max(self.min_fraction)
+    }
+
+    /// Builds the reference schedule for a run of `epochs`, assuming the
+    /// plant drains the battery at roughly the *power target* (the paper's
+    /// agent plans against its own budget).
+    pub fn schedule(&self, epochs: usize) -> Vec<ReferenceStep> {
+        let mut steps = Vec::new();
+        let mut charge = self.supply_j;
+        let mut epoch = 0;
+        while epoch < epochs {
+            let frac_charge = (charge / self.supply_j).max(0.0);
+            let f = self.target_fraction(frac_charge);
+            let targets = Vector::from_slice(&[
+                self.full_targets[0] * f,
+                self.full_targets[1] * f,
+            ]);
+            // Planned energy spent during this window at the power target.
+            let window_s = self.update_epochs as f64 * 50e-6;
+            charge -= targets[1] * window_s;
+            steps.push(ReferenceStep { epoch, targets });
+            epoch += self.update_epochs;
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_is_monotone_in_charge() {
+        let s = BatterySchedule::paper_default();
+        let mut prev = 0.0;
+        for k in 0..=10 {
+            let f = s.target_fraction(k as f64 / 10.0);
+            assert!(f >= prev - 1e-12, "fraction dipped at {k}");
+            prev = f;
+        }
+        assert!((s.target_fraction(1.0) - 1.0).abs() < 1e-12);
+        assert!(s.target_fraction(0.0) >= s.min_fraction);
+    }
+
+    #[test]
+    fn schedule_steps_down_over_time() {
+        let s = BatterySchedule::paper_default();
+        let steps = s.schedule(10_000);
+        assert_eq!(steps.len(), 5);
+        assert_eq!(steps[0].epoch, 0);
+        assert_eq!(steps[1].epoch, 2000);
+        // Targets decrease (weakly) step over step.
+        for w in steps.windows(2) {
+            assert!(w[1].targets[0] <= w[0].targets[0] + 1e-12);
+            assert!(w[1].targets[1] <= w[0].targets[1] + 1e-12);
+        }
+        // And reach a visibly lower level by the end.
+        assert!(steps.last().unwrap().targets[0] < 0.9 * steps[0].targets[0]);
+    }
+
+    #[test]
+    fn floor_respected() {
+        let s = BatterySchedule {
+            supply_j: 0.05, // tiny battery drains immediately
+            ..BatterySchedule::paper_default()
+        };
+        let steps = s.schedule(20_000);
+        for step in &steps {
+            assert!(step.targets[0] >= s.min_fraction * s.full_targets[0] - 1e-12);
+        }
+    }
+}

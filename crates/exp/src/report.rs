@@ -1,0 +1,160 @@
+//! CSV output and paper-vs-measured reporting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory experiment CSVs land in (relative to the workspace root or
+/// current directory).
+pub fn results_dir() -> PathBuf {
+    let candidates = ["results", "../results", "../../results"];
+    for c in candidates {
+        let p = Path::new(c);
+        if p.is_dir() {
+            return p.to_path_buf();
+        }
+    }
+    PathBuf::from("results")
+}
+
+/// Writes a CSV file with a header row into the results directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Renders an ASCII table: `header` then one row per entry.
+pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut s = String::new();
+    let rule = |s: &mut String| {
+        for w in &widths {
+            let _ = write!(s, "+{}", "-".repeat(w + 2));
+        }
+        s.push_str("+\n");
+    };
+    rule(&mut s);
+    for (c, h) in header.iter().enumerate() {
+        let _ = write!(s, "| {:<w$} ", h, w = widths[c]);
+    }
+    s.push_str("|\n");
+    rule(&mut s);
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            let _ = write!(s, "| {:<w$} ", cell, w = widths[c]);
+        }
+        s.push_str("|\n");
+    }
+    rule(&mut s);
+    s
+}
+
+/// One paper-vs-measured comparison line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// What is being compared (e.g. "avg E×D reduction, MIMO").
+    pub label: String,
+    /// The paper's reported value, as text (units included).
+    pub paper: String,
+    /// Our measured value, as text.
+    pub measured: String,
+}
+
+impl Comparison {
+    /// Builds a comparison row.
+    pub fn new(label: &str, paper: &str, measured: &str) -> Self {
+        Comparison {
+            label: label.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+        }
+    }
+}
+
+/// Renders comparison rows as an ASCII table.
+pub fn comparison_table(title: &str, rows: &[Comparison]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|c| vec![c.label.clone(), c.paper.clone(), c.measured.clone()])
+        .collect();
+    format!(
+        "\n== {title} ==\n{}",
+        ascii_table(&["quantity", "paper", "measured"], &body)
+    )
+}
+
+/// Formats a float with fixed decimals.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats a percentage change with a sign (negative = reduction).
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_table_renders_aligned() {
+        let t = ascii_table(
+            &["app", "value"],
+            &[
+                vec!["astar".into(), "1.00".into()],
+                vec!["libquantum".into(), "0.50".into()],
+            ],
+        );
+        assert!(t.contains("libquantum"));
+        assert!(t.contains("| app"));
+        // All rule lines have equal length.
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn comparison_table_includes_title() {
+        let rows = vec![Comparison::new("E×D reduction", "16%", "14.2%")];
+        let t = comparison_table("Figure 9", &rows);
+        assert!(t.contains("Figure 9"));
+        assert!(t.contains("16%"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let rows = vec![vec!["a".to_string(), "1".to_string()]];
+        let path = write_csv("test_report_unit.csv", &["name", "v"], &rows).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "name,v\na,1\n");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(-16.0), "-16.0%");
+        assert_eq!(fmt_pct(4.2), "+4.2%");
+    }
+}

@@ -1,0 +1,379 @@
+//! Epoch-loop drivers and metrics.
+//!
+//! Three drivers, matching the paper's three controller uses (§V):
+//!
+//! * [`run_tracking`] — fixed references (§VIII-D, Figures 6, 8, 11).
+//! * [`run_schedule`] — time-varying references (§VIII-E, Figure 12).
+//! * [`run_optimization`] — optimizer-driven E·D^(k−1) minimization
+//!   (§VIII-F/G, Figures 9, 10).
+
+use mimo_core::governor::Governor;
+use mimo_core::optimizer::{Metric, Optimizer, MAX_TRIES};
+use mimo_linalg::Vector;
+use mimo_sim::{Plant, PlantConfig, Processor, EPOCH_US};
+
+/// Epochs discarded from the front of a run when computing averages
+/// (controller warm-up).
+const WARMUP_EPOCHS: usize = 200;
+
+/// Tracking-run metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackingStats {
+    /// Average |y − y₀| / y₀ per output, in percent, after warm-up.
+    pub avg_err_pct: Vec<f64>,
+    /// Epochs until each *input* last changed by more than one grid step
+    /// (the paper's "epochs to achieve steady state" per input); `None`
+    /// if the input never settles.
+    pub steady_epoch: Vec<Option<usize>>,
+    /// Mean outputs over the final quarter of the run.
+    pub final_outputs: Vector,
+    /// Recorded output trace (per epoch) when requested.
+    pub trace: Option<Vec<Vector>>,
+}
+
+/// Drives `gov` against `plant` toward fixed `targets` for `epochs`.
+pub fn run_tracking(
+    gov: &mut dyn Governor,
+    plant: &mut Processor,
+    targets: &Vector,
+    epochs: usize,
+    keep_trace: bool,
+) -> TrackingStats {
+    gov.set_targets(targets);
+    let grids = plant.input_grids();
+    let mut y = initial_outputs(plant);
+    let mut u_hist: Vec<Vector> = Vec::with_capacity(epochs);
+    let mut y_hist: Vec<Vector> = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let u = gov.decide(&y, plant.phase_changed());
+        y = plant.apply(&u);
+        u_hist.push(u);
+        y_hist.push(y.clone());
+    }
+    summarize(&u_hist, &y_hist, targets, &grids, keep_trace)
+}
+
+fn initial_outputs(plant: &mut Processor) -> Vector {
+    // One epoch at the current configuration provides the first reading.
+    let u = Vector::from_slice(&plant.config().to_actuation(plant.input_set()));
+    plant.apply(&u)
+}
+
+fn summarize(
+    u_hist: &[Vector],
+    y_hist: &[Vector],
+    targets: &Vector,
+    grids: &[Vec<f64>],
+    keep_trace: bool,
+) -> TrackingStats {
+    let epochs = y_hist.len();
+    let o = targets.len();
+    let warm = WARMUP_EPOCHS.min(epochs / 4);
+
+    let mut avg_err_pct = vec![0.0; o];
+    let mut n = 0usize;
+    for y in &y_hist[warm..] {
+        for c in 0..o {
+            avg_err_pct[c] += ((y[c] - targets[c]) / targets[c].max(1e-9)).abs() * 100.0;
+        }
+        n += 1;
+    }
+    for e in &mut avg_err_pct {
+        *e /= n.max(1) as f64;
+    }
+
+    // Steady-state epoch per input: last time the input moved by more than
+    // one grid step from its final value.
+    let n_inputs = grids.len();
+    let mut steady_epoch = vec![None; n_inputs];
+    if let Some(last_u) = u_hist.last() {
+        for i in 0..n_inputs {
+            let step = grid_step(&grids[i]);
+            let final_v = last_u[i];
+            let mut last_move = 0usize;
+            for (t, u) in u_hist.iter().enumerate() {
+                if (u[i] - final_v).abs() > step * 1.01 {
+                    last_move = t + 1;
+                }
+            }
+            // The input never settles if it was still away from its final
+            // value in the last tenth of the run.
+            steady_epoch[i] = if last_move < epochs.saturating_sub(epochs / 10) {
+                Some(last_move)
+            } else {
+                None
+            };
+        }
+    }
+
+    let quarter = (epochs / 4).max(1);
+    let mut final_outputs = Vector::zeros(o);
+    for y in &y_hist[epochs - quarter..] {
+        final_outputs += y;
+    }
+    final_outputs = final_outputs.scale(1.0 / quarter as f64);
+
+    TrackingStats {
+        avg_err_pct,
+        steady_epoch,
+        final_outputs,
+        trace: keep_trace.then(|| y_hist.to_vec()),
+    }
+}
+
+fn grid_step(grid: &[f64]) -> f64 {
+    grid.windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-9)
+}
+
+/// One reference step of a time-varying schedule: from `epoch` on, track
+/// `targets`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceStep {
+    /// First epoch at which these targets apply.
+    pub epoch: usize,
+    /// `[IPS, power]` targets.
+    pub targets: Vector,
+}
+
+/// Time-varying-run result: the full output trace plus the reference
+/// applied at each epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleTrace {
+    /// Measured outputs per epoch.
+    pub outputs: Vec<Vector>,
+    /// Reference in force per epoch.
+    pub references: Vec<Vector>,
+}
+
+impl ScheduleTrace {
+    /// Mean |IPS − IPS₀| / IPS₀ over the run, in percent.
+    pub fn ips_tracking_error_pct(&self) -> f64 {
+        let mut acc = 0.0;
+        for (y, r) in self.outputs.iter().zip(&self.references) {
+            acc += ((y[0] - r[0]) / r[0].max(1e-9)).abs();
+        }
+        acc / self.outputs.len().max(1) as f64 * 100.0
+    }
+}
+
+/// Drives `gov` through a piecewise-constant reference schedule (§VIII-E).
+pub fn run_schedule(
+    gov: &mut dyn Governor,
+    plant: &mut Processor,
+    schedule: &[ReferenceStep],
+    epochs: usize,
+) -> ScheduleTrace {
+    assert!(!schedule.is_empty(), "schedule must have at least one step");
+    let mut y = initial_outputs(plant);
+    let mut outputs = Vec::with_capacity(epochs);
+    let mut references = Vec::with_capacity(epochs);
+    let mut step_idx = 0;
+    gov.set_targets(&schedule[0].targets);
+    for t in 0..epochs {
+        while step_idx + 1 < schedule.len() && schedule[step_idx + 1].epoch <= t {
+            step_idx += 1;
+            gov.set_targets(&schedule[step_idx].targets);
+        }
+        let u = gov.decide(&y, plant.phase_changed());
+        y = plant.apply(&u);
+        outputs.push(y.clone());
+        references.push(schedule[step_idx].targets.clone());
+    }
+    ScheduleTrace {
+        outputs,
+        references,
+    }
+}
+
+/// Optimization-run result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizationStats {
+    /// `E·D^(k−1)` per billion instructions over the run.
+    pub ed_product: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Total time in seconds.
+    pub time_s: f64,
+    /// Instructions executed, billions.
+    pub instructions_g: f64,
+}
+
+/// Epochs the tracking loop is given to converge on each optimizer trial.
+const CONVERGE_EPOCHS: usize = 200;
+/// Epochs averaged to score a trial.
+const SCORE_EPOCHS: usize = 80;
+
+/// Runs a *tracking* governor (MIMO or Decoupled) under the §V optimizer
+/// until `budget_g` billions of instructions complete; returns the
+/// energy/delay metrics for the executed work.
+pub fn run_optimization(
+    gov: &mut dyn Governor,
+    plant: &mut Processor,
+    metric: Metric,
+    budget_g: f64,
+) -> OptimizationStats {
+    // §VI-B: every search starts from the midrange configuration.
+    let mid = PlantConfig::midrange();
+    let mut y = Vector::zeros(2);
+    for _ in 0..SCORE_EPOCHS {
+        let obs = plant.step_config(mid);
+        y = Vector::from_slice(&[obs.ips_bips, obs.power_w]);
+    }
+    let (start_ips, start_p) = (y[0], y[1]);
+    let mut opt = Optimizer::new(metric, start_ips, start_p, MAX_TRIES);
+    gov.set_targets(&opt.targets());
+
+    let mut window: Vec<Vector> = Vec::new();
+    let mut epochs_on_trial = 0usize;
+    while plant.totals().instructions_g < budget_g {
+        let phase_changed = plant.phase_changed();
+        if phase_changed && opt.is_done() {
+            // §V: a new search starts when the application changes phases.
+            opt.restart(y[0], y[1]);
+            gov.set_targets(&opt.targets());
+            epochs_on_trial = 0;
+            window.clear();
+        }
+        let u = gov.decide(&y, phase_changed);
+        y = plant.apply(&u);
+        epochs_on_trial += 1;
+        if !opt.is_done() {
+            if epochs_on_trial > CONVERGE_EPOCHS - SCORE_EPOCHS {
+                window.push(y.clone());
+            }
+            if epochs_on_trial >= CONVERGE_EPOCHS {
+                let mut avg = Vector::zeros(2);
+                for v in &window {
+                    avg += v;
+                }
+                avg = avg.scale(1.0 / window.len().max(1) as f64);
+                if let Some(next) = opt.observe(avg[0], avg[1]) {
+                    gov.set_targets(&next);
+                } else {
+                    // Hold the best point found.
+                    gov.set_targets(&opt.targets());
+                }
+                window.clear();
+                epochs_on_trial = 0;
+            }
+        }
+    }
+    stats_from(plant, metric)
+}
+
+/// Runs a self-contained governor (Baseline, or the Heuristic's own
+/// optimization search) until the instruction budget completes.
+pub fn run_self_directed(
+    gov: &mut dyn Governor,
+    plant: &mut Processor,
+    metric: Metric,
+    budget_g: f64,
+) -> OptimizationStats {
+    let mut y = initial_outputs(plant);
+    while plant.totals().instructions_g < budget_g {
+        let u = gov.decide(&y, plant.phase_changed());
+        y = plant.apply(&u);
+    }
+    stats_from(plant, metric)
+}
+
+fn stats_from(plant: &Processor, metric: Metric) -> OptimizationStats {
+    let t = plant.totals();
+    OptimizationStats {
+        ed_product: t.energy_delay_product(metric.exponent() as u32),
+        energy_j: t.energy_j,
+        time_s: t.time_s,
+        instructions_g: t.instructions_g,
+    }
+}
+
+/// Convenience: epochs corresponding to a wall-clock duration.
+pub fn epochs_for_ms(ms: f64) -> usize {
+    ((ms * 1000.0) / EPOCH_US).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup;
+    use mimo_core::governor::FixedGovernor;
+    use mimo_sim::InputSet;
+
+    #[test]
+    fn epochs_for_ms_converts() {
+        assert_eq!(epochs_for_ms(10.0), 200);
+        assert_eq!(epochs_for_ms(0.05), 1);
+    }
+
+    #[test]
+    fn tracking_with_fixed_governor_reports_errors() {
+        let mut gov = FixedGovernor::new(Vector::from_slice(&[1.3, 6.0]));
+        let mut plant = setup::plant("namd", InputSet::FreqCache, 1);
+        let targets = Vector::from_slice(&[2.5, 2.0]);
+        let stats = run_tracking(&mut gov, &mut plant, &targets, 800, false);
+        assert_eq!(stats.avg_err_pct.len(), 2);
+        assert!(stats.avg_err_pct[0] > 0.0);
+        // Fixed inputs settle immediately.
+        assert_eq!(stats.steady_epoch, vec![Some(0), Some(0)]);
+        assert!(stats.trace.is_none());
+    }
+
+    #[test]
+    fn mimo_tracking_beats_fixed_on_namd() {
+        let mut mimo = setup::mimo_governor(InputSet::FreqCache, 2).unwrap();
+        let mut plant = setup::plant("namd", InputSet::FreqCache, 3);
+        let targets = Vector::from_slice(&[2.5, 2.0]);
+        let mimo_stats = run_tracking(&mut mimo, &mut plant, &targets, 3000, false);
+
+        let mut fixed = FixedGovernor::new(Vector::from_slice(&[1.0, 4.0]));
+        let mut plant2 = setup::plant("namd", InputSet::FreqCache, 3);
+        let fixed_stats = run_tracking(&mut fixed, &mut plant2, &targets, 3000, false);
+
+        let mimo_total: f64 = mimo_stats.avg_err_pct.iter().sum();
+        let fixed_total: f64 = fixed_stats.avg_err_pct.iter().sum();
+        assert!(
+            mimo_total < fixed_total,
+            "MIMO {mimo_stats:?} vs fixed {fixed_stats:?}"
+        );
+        // MIMO should track power well on a responsive app.
+        assert!(
+            mimo_stats.avg_err_pct[1] < 12.0,
+            "power error {:?}",
+            mimo_stats.avg_err_pct
+        );
+    }
+
+    #[test]
+    fn schedule_switches_references() {
+        let mut gov = FixedGovernor::new(Vector::from_slice(&[1.3, 6.0]));
+        let mut plant = setup::plant("astar", InputSet::FreqCache, 4);
+        let schedule = vec![
+            ReferenceStep {
+                epoch: 0,
+                targets: Vector::from_slice(&[2.0, 1.5]),
+            },
+            ReferenceStep {
+                epoch: 50,
+                targets: Vector::from_slice(&[1.0, 1.0]),
+            },
+        ];
+        let trace = run_schedule(&mut gov, &mut plant, &schedule, 100);
+        assert_eq!(trace.outputs.len(), 100);
+        assert_eq!(trace.references[0][0], 2.0);
+        assert_eq!(trace.references[99][0], 1.0);
+        assert!(trace.ips_tracking_error_pct() >= 0.0);
+    }
+
+    #[test]
+    fn optimization_run_consumes_budget() {
+        let mut gov = setup::mimo_governor(InputSet::FreqCache, 5).unwrap();
+        let mut plant = setup::plant("gamess", InputSet::FreqCache, 6);
+        let stats = run_optimization(&mut gov, &mut plant, Metric::EnergyDelay, 0.05);
+        assert!(stats.instructions_g >= 0.05);
+        assert!(stats.ed_product.is_finite() && stats.ed_product > 0.0);
+        assert!(stats.energy_j > 0.0 && stats.time_s > 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The matrix was singular (or numerically singular) where an invertible
+    /// matrix was required.
+    Singular,
+    /// The operation requires a square matrix but a rectangular one was given.
+    NotSquare {
+        /// Shape of the offending matrix as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm that failed to converge.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input was empty or otherwise degenerate.
+    EmptyInput,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            LinalgError::EmptyInput => write!(f, "input matrix or vector is empty"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "mul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("mul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<LinalgError>();
+    }
+
+    #[test]
+    fn singular_display() {
+        assert_eq!(
+            LinalgError::Singular.to_string(),
+            "matrix is singular to working precision"
+        );
+    }
+
+    #[test]
+    fn no_convergence_display_names_algorithm() {
+        let e = LinalgError::NoConvergence {
+            algorithm: "francis-qr",
+            iterations: 30,
+        };
+        assert!(e.to_string().contains("francis-qr"));
+        assert!(e.to_string().contains("30"));
+    }
+}

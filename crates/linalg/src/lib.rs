@@ -1,0 +1,53 @@
+//! # mimo-linalg
+//!
+//! Dense linear-algebra substrate for the `mimo-arch` workspace.
+//!
+//! The ISCA 2016 MIMO-control paper offloads all of its numerical work —
+//! least-squares system identification, Riccati-based LQG synthesis, and
+//! robust-stability analysis — to MATLAB. This crate provides the pieces of
+//! that toolbox that the rest of the workspace needs, implemented from
+//! scratch over `f64`:
+//!
+//! * [`Matrix`] / [`Vector`] — dense row-major storage with the usual
+//!   arithmetic, block, and stacking operations.
+//! * [`lu::LuDecomposition`] — partial-pivot LU: solve, inverse, determinant.
+//! * [`qr::QrDecomposition`] — Householder QR and least squares.
+//! * [`eigen`] — Hessenberg reduction + Francis double-shift QR giving the
+//!   real Schur form, complex eigenvalues, and spectral radius.
+//! * [`svd`] — one-sided Jacobi SVD: singular values, rank, pseudo-inverse.
+//! * [`complex`] — complex matrices (as re/im pairs) and the discrete-time
+//!   frequency response `G(e^{jw}) = C (zI - A)^{-1} B + D` used by the
+//!   robust-stability analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use mimo_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let b = Matrix::col(&[1.0, 2.0]);
+//! let x = a.solve(&b).unwrap();
+//! let r = &a * &x - &b;
+//! assert!(r.norm_fro() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+mod vector;
+
+pub mod complex;
+pub mod eigen;
+pub mod lu;
+pub mod qr;
+pub mod svd;
+
+pub use complex::CMatrix;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+/// Convenient result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,327 @@
+//! Householder QR decomposition and least squares.
+//!
+//! System identification (the paper's "least square solver for a dynamic
+//! environment") reduces to overdetermined least-squares problems
+//! `min ‖Φθ − Y‖`; we solve them with the numerically stable QR route
+//! rather than the normal equations.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A thin Householder QR factorization `A = Q * R` of an `m x n` matrix with
+/// `m >= n`.
+///
+/// `Q` is `m x n` with orthonormal columns and `R` is `n x n` upper
+/// triangular.
+///
+/// # Example
+///
+/// ```
+/// use mimo_linalg::{qr::QrDecomposition, Matrix};
+///
+/// # fn main() -> Result<(), mimo_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let b = Matrix::col(&[1.0, 2.0, 3.0]);
+/// let theta = QrDecomposition::new(&a)?.solve_least_squares(&b)?;
+/// // Fit of y = 1 + x is exact.
+/// assert!((theta[(0, 0)] - 1.0).abs() < 1e-12);
+/// assert!((theta[(1, 0)] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Householder vectors stored below the diagonal; R on and above it.
+    qr: Matrix,
+    /// Scaling factors `tau` of the Householder reflectors.
+    tau: Vec<f64>,
+}
+
+impl QrDecomposition {
+    /// Factorizes a matrix with at least as many rows as columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `rows < cols` and
+    /// [`LinalgError::EmptyInput`] if the matrix is empty.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::EmptyInput);
+        }
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr (needs rows >= cols)",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha*e1, normalized so v[k] = 1.
+            let v0 = qr[(k, k)] - alpha;
+            tau[k] = -v0 / alpha;
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            qr[(k, k)] = alpha;
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= tau[k];
+                qr[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+        }
+
+        Ok(QrDecomposition { qr, tau })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Extracts the `n x n` upper-triangular factor `R`.
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// Reconstructs the thin orthonormal factor `Q` (`m x n`).
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q[(j, j)] = 1.0;
+        }
+        // Accumulate reflectors in reverse order: Q = H_0 H_1 ... H_{n-1} I.
+        for k in (0..n).rev() {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let mut s = q[(k, j)];
+                for i in (k + 1)..m {
+                    s += self.qr[(i, k)] * q[(i, j)];
+                }
+                s *= self.tau[k];
+                q[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = self.qr[(i, k)];
+                    q[(i, j)] -= s * vik;
+                }
+            }
+        }
+        q
+    }
+
+    /// Applies `Qᵀ` to a matrix in place (used by the least-squares solve).
+    fn apply_qt(&self, b: &mut Matrix) {
+        let (m, n) = self.qr.shape();
+        let p = b.cols();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            for j in 0..p {
+                let mut s = b[(k, j)];
+                for i in (k + 1)..m {
+                    s += self.qr[(i, k)] * b[(i, j)];
+                }
+                s *= self.tau[k];
+                b[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = self.qr[(i, k)];
+                    b[(i, j)] -= s * vik;
+                }
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min_X ‖A X − B‖_F`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows()` differs from the
+    /// factored matrix, or [`LinalgError::Singular`] if `A` is rank deficient
+    /// to working precision.
+    pub fn solve_least_squares(&self, b: &Matrix) -> Result<Matrix> {
+        let (m, n) = self.qr.shape();
+        if b.rows() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut qtb = b.clone();
+        self.apply_qt(&mut qtb);
+        // Back-substitute R x = (Qᵀ b)[0..n].
+        let p = b.cols();
+        let mut x = Matrix::zeros(n, p);
+        let scale = self.qr.max_abs().max(f64::MIN_POSITIVE);
+        for i in (0..n).rev() {
+            let rii = self.qr[(i, i)];
+            if rii.abs() <= 1e-13 * scale {
+                return Err(LinalgError::Singular);
+            }
+            for j in 0..p {
+                let mut s = qtb[(i, j)];
+                for k in (i + 1)..n {
+                    s -= self.qr[(i, k)] * x[(k, j)];
+                }
+                x[(i, j)] = s / rii;
+            }
+        }
+        Ok(x)
+    }
+}
+
+/// Solves `min_X ‖A X − B‖_F` with an optional Tikhonov (ridge) term
+/// `lambda ‖X‖²`, by augmenting the regressor with `sqrt(lambda) I`.
+///
+/// Regularization keeps system identification well posed when excitation is
+/// poor (e.g. an input that barely moves during a training run).
+///
+/// # Errors
+///
+/// Propagates shape and rank errors from the underlying QR solve.
+pub fn ridge_least_squares(a: &Matrix, b: &Matrix, lambda: f64) -> Result<Matrix> {
+    if lambda <= 0.0 {
+        return QrDecomposition::new(a)?.solve_least_squares(b);
+    }
+    let n = a.cols();
+    let reg = Matrix::identity(n).scale(lambda.sqrt());
+    let a_aug = Matrix::vstack(a, &reg)?;
+    let b_aug = Matrix::vstack(b, &Matrix::zeros(n, b.cols()))?;
+    QrDecomposition::new(&a_aug)?.solve_least_squares(&b_aug)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.5],
+            &[3.0, -1.0, 2.0],
+            &[0.0, 4.0, 1.0],
+            &[2.0, 2.0, -3.0],
+        ]);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let recon = &qr.q() * &qr.r();
+        assert!((&recon - &a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i * 5 + j * 3 + 1) % 11) as f64 - 5.0);
+        let q = QrDecomposition::new(&a).unwrap().q();
+        let qtq = &q.transpose() * &q;
+        assert!((&qtq - &Matrix::identity(3)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(5, 4, |i, j| (i as f64 - j as f64).sin() + 2.0);
+        let r = QrDecomposition::new(&a).unwrap().r();
+        for i in 1..4 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_exact_solution_for_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::col(&[5.0, 10.0]);
+        let x_qr = QrDecomposition::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let x_lu = a.solve(&b).unwrap();
+        assert!((&x_qr - &x_lu).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_range() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = Matrix::col(&[0.0, 1.0, 1.5, 3.2]);
+        let x = QrDecomposition::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let r = &(&a * &x) - &b;
+        // Normal equations: Aᵀ r = 0.
+        let at_r = &a.transpose() * &r;
+        assert!(at_r.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_wide_matrices() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            QrDecomposition::new(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_deficient_reports_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let b = Matrix::col(&[1.0, 2.0, 3.0]);
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert_eq!(qr.solve_least_squares(&b).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn ridge_handles_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let b = Matrix::col(&[1.0, 2.0, 3.0]);
+        let x = ridge_least_squares(&a, &b, 1e-6).unwrap();
+        assert!(x.all_finite());
+        // The regularized solution should still nearly fit (system is consistent).
+        let r = &(&a * &x) - &b;
+        assert!(r.max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn ridge_with_zero_lambda_is_plain_least_squares() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+        let b = Matrix::col(&[1.0, 2.0, 3.0]);
+        let x0 = ridge_least_squares(&a, &b, 0.0).unwrap();
+        let x1 = QrDecomposition::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((&x0 - &x1).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn shape_mismatch_on_rhs() {
+        let a = Matrix::from_fn(4, 2, |i, j| (i + j) as f64 + 1.0);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let b = Matrix::zeros(3, 1);
+        assert!(matches!(
+            qr.solve_least_squares(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the processor simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The requested application is not in the workload catalog.
+    UnknownApp {
+        /// Name that failed to resolve.
+        name: String,
+    },
+    /// An actuation vector had the wrong number of entries for the active
+    /// input set.
+    BadActuation {
+        /// Entries supplied.
+        got: usize,
+        /// Entries expected.
+        expected: usize,
+    },
+    /// A configuration value fell outside its actuator grid and could not
+    /// be interpreted.
+    InvalidConfig {
+        /// Description of the invalid setting.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownApp { name } => {
+                write!(f, "unknown application '{name}'; see workload::catalog_names()")
+            }
+            SimError::BadActuation { got, expected } => {
+                write!(f, "actuation vector has {got} entries, expected {expected}")
+            }
+            SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_app() {
+        let e = SimError::UnknownApp {
+            name: "quake3".into(),
+        };
+        assert!(e.to_string().contains("quake3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<SimError>();
+    }
+}

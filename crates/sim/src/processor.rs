@@ -1,0 +1,597 @@
+//! The controlled plant: a configurable processor running an application.
+//!
+//! [`Processor`] ties the workload, core, cache, and power models together
+//! behind the paper's control interface: every 50 µs epoch the controller
+//! supplies an actuation vector, and the plant returns the measured
+//! outputs `[IPS (BIPS), power (W)]`. The plant injects everything the
+//! paper's unpredictability matrices account for — program phase changes,
+//! miss-rate jitter from interrupts and input-dependent behavior, and
+//! sensor noise on both outputs.
+
+use mimo_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::CacheState;
+use crate::config::{InputSet, PlantConfig};
+use crate::corem;
+use crate::power::{self, TransitionCost};
+use crate::workload::{lookup, AppProfile, Phase};
+use crate::{Result, SimError, EPOCH_US};
+
+/// Interface controllers use to drive a plant one epoch at a time.
+///
+/// Implemented by [`Processor`]; controller code is written against this
+/// trait so tests can substitute analytic plants.
+pub trait Plant {
+    /// Number of actuated inputs.
+    fn num_inputs(&self) -> usize;
+    /// Number of observed outputs.
+    fn num_outputs(&self) -> usize;
+    /// Allowed values per input, ascending.
+    fn input_grids(&self) -> Vec<Vec<f64>>;
+    /// Applies an actuation for one epoch and returns the measured outputs.
+    fn apply(&mut self, u: &Vector) -> Vector;
+    /// Whether the last epoch crossed a program phase boundary.
+    fn phase_changed(&self) -> bool;
+    /// Restarts the plant from its initial state.
+    fn reset(&mut self);
+}
+
+/// One epoch's measured outputs plus bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Measured performance in billions of instructions per second.
+    pub ips_bips: f64,
+    /// Measured power in watts.
+    pub power_w: f64,
+    /// Configuration actually in effect this epoch (post-quantization).
+    pub config: PlantConfig,
+    /// Whether a program phase boundary was crossed.
+    pub phase_change: bool,
+}
+
+/// Cumulative run statistics for energy/delay metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunTotals {
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Total committed instructions, in billions.
+    pub instructions_g: f64,
+    /// Total wall-clock time in seconds.
+    pub time_s: f64,
+    /// Epochs executed.
+    pub epochs: u64,
+}
+
+impl RunTotals {
+    /// Energy × Delay^(k−1) for the executed work: `E`, `E×D`, `E×D²`, …
+    ///
+    /// Delay is normalized per billion instructions so runs of different
+    /// lengths compare fairly.
+    pub fn energy_delay_product(&self, k: u32) -> f64 {
+        if self.instructions_g <= 0.0 {
+            return f64::INFINITY;
+        }
+        let e = self.energy_j / self.instructions_g;
+        let d = self.time_s / self.instructions_g;
+        e * d.powi(k as i32 - 1)
+    }
+
+    /// Average IPS in BIPS over the whole run.
+    pub fn avg_bips(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.instructions_g / self.time_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Average power in watts over the whole run.
+    pub fn avg_power(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.energy_j / self.time_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Builder for [`Processor`].
+///
+/// # Example
+///
+/// ```
+/// use mimo_sim::ProcessorBuilder;
+///
+/// # fn main() -> Result<(), mimo_sim::SimError> {
+/// let cpu = ProcessorBuilder::new()
+///     .app("astar")
+///     .seed(1)
+///     .sensor_noise(0.01, 0.015)
+///     .build()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessorBuilder {
+    app: String,
+    seed: u64,
+    input_set: InputSet,
+    initial: PlantConfig,
+    ips_noise: f64,
+    power_noise: f64,
+    process_noise: f64,
+}
+
+impl ProcessorBuilder {
+    /// Starts a builder with the paper's defaults: the 3-input plant at the
+    /// baseline configuration, running `namd`.
+    pub fn new() -> Self {
+        ProcessorBuilder {
+            app: "namd".to_owned(),
+            seed: 0,
+            input_set: InputSet::FreqCacheRob,
+            initial: PlantConfig::baseline(),
+            ips_noise: 0.01,
+            power_noise: 0.015,
+            process_noise: 0.05,
+        }
+    }
+
+    /// Selects the application by catalog name.
+    pub fn app(mut self, name: &str) -> Self {
+        self.app = name.to_owned();
+        self
+    }
+
+    /// Seeds all stochastic behavior (deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Chooses the actuated input set (2-input or 3-input plant).
+    pub fn input_set(mut self, set: InputSet) -> Self {
+        self.input_set = set;
+        self
+    }
+
+    /// Sets the initial configuration.
+    pub fn initial_config(mut self, cfg: PlantConfig) -> Self {
+        self.initial = cfg;
+        self
+    }
+
+    /// Sets the relative sensor-noise standard deviations for IPS and
+    /// power readings.
+    pub fn sensor_noise(mut self, ips: f64, power: f64) -> Self {
+        self.ips_noise = ips;
+        self.power_noise = power;
+        self
+    }
+
+    /// Sets the relative process-noise level (miss-traffic jitter).
+    pub fn process_noise(mut self, sigma: f64) -> Self {
+        self.process_noise = sigma;
+        self
+    }
+
+    /// Builds the processor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownApp`] for an unknown application name and
+    /// [`SimError::InvalidConfig`] for an off-grid initial configuration.
+    pub fn build(self) -> Result<Processor> {
+        let profile = lookup(&self.app).ok_or_else(|| SimError::UnknownApp {
+            name: self.app.clone(),
+        })?;
+        self.initial.validate()?;
+        Ok(Processor::from_parts(self, profile))
+    }
+}
+
+impl Default for ProcessorBuilder {
+    fn default() -> Self {
+        ProcessorBuilder::new()
+    }
+}
+
+/// The simulated processor plant.
+#[derive(Debug, Clone)]
+pub struct Processor {
+    builder: ProcessorBuilder,
+    profile: AppProfile,
+    input_set: InputSet,
+    config: PlantConfig,
+    cache: CacheState,
+    rng: StdRng,
+    /// Index into the (cyclic) phase sequence.
+    phase_idx: usize,
+    /// Epochs remaining in the current (jittered) phase.
+    phase_left: usize,
+    /// First-order-smoothed effective phase parameters (the program does
+    /// not switch behavior instantaneously at a phase boundary).
+    eff: Phase,
+    phase_changed: bool,
+    totals: RunTotals,
+    last: Option<Observation>,
+}
+
+/// Fraction of the gap to the target phase closed per epoch.
+const PHASE_SMOOTHING: f64 = 0.12;
+
+impl Processor {
+    fn from_parts(builder: ProcessorBuilder, profile: AppProfile) -> Self {
+        let mut rng = StdRng::seed_from_u64(builder.seed);
+        let phase_idx = 0;
+        let first = profile.phases()[0];
+        let phase_left = jittered_duration(first.duration_epochs, &mut rng);
+        Processor {
+            input_set: builder.input_set,
+            config: builder.initial,
+            cache: CacheState::new(builder.initial.l2_ways),
+            rng,
+            phase_idx,
+            phase_left,
+            eff: first,
+            phase_changed: false,
+            totals: RunTotals::default(),
+            last: None,
+            builder,
+            profile,
+        }
+    }
+
+    /// The application this plant runs.
+    pub fn app_name(&self) -> &str {
+        self.profile.name()
+    }
+
+    /// The currently applied configuration.
+    pub fn config(&self) -> PlantConfig {
+        self.config
+    }
+
+    /// The active input set.
+    pub fn input_set(&self) -> InputSet {
+        self.input_set
+    }
+
+    /// Cumulative run statistics.
+    pub fn totals(&self) -> RunTotals {
+        self.totals
+    }
+
+    /// The most recent observation, if any epoch has run.
+    pub fn last_observation(&self) -> Option<Observation> {
+        self.last
+    }
+
+    /// Runs one epoch with an explicit configuration (used by profiling and
+    /// identification flows that bypass actuation vectors).
+    pub fn step_config(&mut self, target: PlantConfig) -> Observation {
+        // --- Actuation and transition costs -----------------------------
+        let cost: TransitionCost = power::transition_cost(&self.config, &target);
+        if target.l2_ways != self.cache.ways() {
+            self.cache.resize(target.l2_ways);
+        }
+        self.config = target;
+
+        // --- Advance the program --------------------------------------
+        self.phase_changed = false;
+        if self.phase_left == 0 {
+            self.phase_idx += 1;
+            let next = *self.profile.phase(self.phase_idx);
+            self.phase_left = jittered_duration(next.duration_epochs, &mut self.rng);
+            self.phase_changed = true;
+        } else {
+            self.phase_left -= 1;
+        }
+        let target_phase = *self.profile.phase(self.phase_idx);
+        self.eff = lerp_phase(&self.eff, &target_phase, PHASE_SMOOTHING);
+        self.cache.tick();
+
+        // --- Performance -----------------------------------------------
+        // Miss-traffic jitter: log-normal-ish program noise plus rare
+        // interrupt spikes.
+        let z: f64 = standard_normal(&mut self.rng);
+        let mut jitter = (self.builder.process_noise * z).exp();
+        if self.rng.gen::<f64>() < 0.01 {
+            jitter *= 1.5; // interrupt / page-fault burst
+        }
+        let breakdown = corem::cpi(&self.eff, &self.config, &self.cache, jitter);
+        let ipc = breakdown.ipc();
+        let exec_us = (EPOCH_US - cost.stall_us).max(0.0);
+        // instructions [billions] = IPC · f[Gcycles/s] · t[s].
+        let instr_g = ipc * self.config.freq_ghz * exec_us * 1e-6;
+        let true_ips = instr_g / (EPOCH_US * 1e-6); // BIPS averaged over the epoch
+
+        // --- Power -------------------------------------------------------
+        let run_power = power::total_power(&self.config, ipc, self.eff.activity);
+        // During transition stalls the core clock-gates most dynamic power.
+        let stall_power = power::leakage_power(&self.config)
+            + 0.3 * power::dynamic_power(&self.config, 0.0, self.eff.activity);
+        let mut true_power = (run_power * exec_us + stall_power * cost.stall_us) / EPOCH_US;
+        true_power += cost.energy_uj * 1e-6 / (EPOCH_US * 1e-6);
+
+        // --- Accounting ---------------------------------------------------
+        self.totals.energy_j += true_power * EPOCH_US * 1e-6;
+        self.totals.instructions_g += instr_g;
+        self.totals.time_s += EPOCH_US * 1e-6;
+        self.totals.epochs += 1;
+
+        // --- Sensors -------------------------------------------------------
+        let ips_meas = true_ips * (1.0 + self.builder.ips_noise * standard_normal(&mut self.rng));
+        let power_meas =
+            true_power * (1.0 + self.builder.power_noise * standard_normal(&mut self.rng));
+
+        let obs = Observation {
+            ips_bips: ips_meas.max(0.0),
+            power_w: power_meas.max(0.0),
+            config: self.config,
+            phase_change: self.phase_changed,
+        };
+        self.last = Some(obs);
+        obs
+    }
+}
+
+impl Plant for Processor {
+    fn num_inputs(&self) -> usize {
+        self.input_set.len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        2
+    }
+
+    fn input_grids(&self) -> Vec<Vec<f64>> {
+        self.input_set
+            .grids()
+            .iter()
+            .map(|g| g.values().to_vec())
+            .collect()
+    }
+
+    fn apply(&mut self, u: &Vector) -> Vector {
+        let cfg = PlantConfig::from_actuation(u.as_slice(), self.input_set, &self.config)
+            .unwrap_or(self.config);
+        let obs = self.step_config(cfg);
+        Vector::from_slice(&[obs.ips_bips, obs.power_w])
+    }
+
+    fn phase_changed(&self) -> bool {
+        self.phase_changed
+    }
+
+    fn reset(&mut self) {
+        *self = Processor::from_parts(self.builder.clone(), self.profile.clone());
+    }
+}
+
+/// Box–Muller standard normal draw.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Jitters a nominal phase duration by ±15%.
+fn jittered_duration(nominal: usize, rng: &mut StdRng) -> usize {
+    let f = 1.0 + 0.15 * (rng.gen::<f64>() * 2.0 - 1.0);
+    ((nominal as f64 * f) as usize).max(1)
+}
+
+/// First-order interpolation of phase parameters.
+fn lerp_phase(from: &Phase, to: &Phase, alpha: f64) -> Phase {
+    let l = |a: f64, b: f64| a + (b - a) * alpha;
+    Phase {
+        ilp: l(from.ilp, to.ilp),
+        l2_mpki: l(from.l2_mpki, to.l2_mpki),
+        l1_mpki: l(from.l1_mpki, to.l1_mpki),
+        cache_sens: l(from.cache_sens, to.cache_sens),
+        rob_sens: l(from.rob_sens, to.rob_sens),
+        branch_mpki: l(from.branch_mpki, to.branch_mpki),
+        mem_parallelism: l(from.mem_parallelism, to.mem_parallelism),
+        activity: l(from.activity, to.activity),
+        duration_epochs: to.duration_epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(name: &str, seed: u64) -> Processor {
+        ProcessorBuilder::new()
+            .app(name)
+            .seed(seed)
+            .sensor_noise(0.0, 0.0)
+            .process_noise(0.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_unknown_app() {
+        assert!(matches!(
+            ProcessorBuilder::new().app("crysis").build(),
+            Err(SimError::UnknownApp { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = ProcessorBuilder::new().app("astar").seed(seed).build().unwrap();
+            let u = Vector::from_slice(&[1.3, 6.0, 48.0]);
+            (0..50).map(|_| p.apply(&u)[0]).sum::<f64>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn outputs_positive_and_bounded() {
+        let mut p = ProcessorBuilder::new().app("milc").seed(9).build().unwrap();
+        for i in 0..200 {
+            let f = 0.5 + 0.1 * (i % 16) as f64;
+            let y = p.apply(&Vector::from_slice(&[f, 8.0, 128.0]));
+            assert!(y[0] > 0.0 && y[0] < 6.0, "IPS {y:?}");
+            assert!(y[1] > 0.1 && y[1] < 4.0, "power {y:?}");
+        }
+    }
+
+    #[test]
+    fn frequency_raises_power_and_compute_ips() {
+        let mut p = quiet("namd", 1);
+        // Settle at low frequency.
+        let mut lo = Vector::zeros(2);
+        for _ in 0..50 {
+            lo = p.apply(&Vector::from_slice(&[0.5, 8.0, 128.0]));
+        }
+        let mut hi = Vector::zeros(2);
+        for _ in 0..50 {
+            hi = p.apply(&Vector::from_slice(&[2.0, 8.0, 128.0]));
+        }
+        assert!(hi[0] > 2.0 * lo[0], "IPS should scale: {lo:?} → {hi:?}");
+        assert!(hi[1] > 2.0 * lo[1], "power should scale: {lo:?} → {hi:?}");
+    }
+
+    #[test]
+    fn responsive_app_reaches_targets_in_situ() {
+        // End-to-end check of §VII-B1 feasibility: namd at high config
+        // exceeds 2.5 BIPS with power under ~3 W.
+        let mut p = quiet("namd", 2);
+        let mut y = Vector::zeros(2);
+        for _ in 0..100 {
+            y = p.apply(&Vector::from_slice(&[2.0, 8.0, 128.0]));
+        }
+        assert!(y[0] > 2.5, "namd IPS {y:?}");
+    }
+
+    #[test]
+    fn non_responsive_app_cannot_reach_targets_in_situ() {
+        let mut p = quiet("mcf", 2);
+        let mut best: f64 = 0.0;
+        for _ in 0..300 {
+            let y = p.apply(&Vector::from_slice(&[2.0, 8.0, 128.0]));
+            best = best.max(y[0]);
+        }
+        assert!(best < 2.0, "mcf reached {best}");
+    }
+
+    #[test]
+    fn dvfs_transition_stalls_one_epoch() {
+        let mut p = quiet("gamess", 5);
+        let u_lo = Vector::from_slice(&[1.0, 8.0, 128.0]);
+        for _ in 0..50 {
+            p.apply(&u_lo);
+        }
+        let settled = p.apply(&u_lo)[0];
+        // Switch frequency: the transition epoch loses ~5µs of work relative
+        // to the next settled epoch at the same new frequency.
+        let u_hi = Vector::from_slice(&[1.1, 8.0, 128.0]);
+        let transition = p.apply(&u_hi)[0];
+        let mut after = 0.0;
+        for _ in 0..30 {
+            after = p.apply(&u_hi)[0];
+        }
+        assert!(transition < after, "transition {transition} vs settled {after}");
+        assert!(after > settled, "higher f should win eventually");
+    }
+
+    #[test]
+    fn cache_growth_shows_warmup_transient() {
+        let mut p = quiet("milc", 3);
+        let small = Vector::from_slice(&[1.3, 2.0, 128.0]);
+        for _ in 0..100 {
+            p.apply(&small);
+        }
+        let big = Vector::from_slice(&[1.3, 8.0, 128.0]);
+        let first = p.apply(&big)[0];
+        let mut later = 0.0;
+        for _ in 0..60 {
+            later = p.apply(&big)[0];
+        }
+        assert!(later > first * 1.05, "warmup: first {first}, later {later}");
+    }
+
+    #[test]
+    fn totals_accumulate_consistently() {
+        let mut p = quiet("astar", 7);
+        let u = Vector::from_slice(&[1.3, 6.0, 48.0]);
+        for _ in 0..100 {
+            p.apply(&u);
+        }
+        let t = p.totals();
+        assert_eq!(t.epochs, 100);
+        assert!((t.time_s - 100.0 * 50e-6).abs() < 1e-12);
+        assert!(t.energy_j > 0.0);
+        assert!(t.instructions_g > 0.0);
+        // avg power sanity.
+        assert!((0.3..3.0).contains(&t.avg_power()));
+        let exd = t.energy_delay_product(2);
+        assert!(exd.is_finite() && exd > 0.0);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut p = ProcessorBuilder::new().app("wrf").seed(11).build().unwrap();
+        let u = Vector::from_slice(&[1.0, 4.0, 64.0]);
+        let first: Vec<f64> = (0..20).map(|_| p.apply(&u)[0]).collect();
+        p.reset();
+        let second: Vec<f64> = (0..20).map(|_| p.apply(&u)[0]).collect();
+        assert_eq!(first, second);
+        assert_eq!(p.totals().epochs, 20);
+    }
+
+    #[test]
+    fn phase_changes_are_flagged() {
+        let mut p = quiet("gcc", 13); // short phases
+        let u = Vector::from_slice(&[1.3, 6.0, 48.0]);
+        let mut changes = 0;
+        for _ in 0..4000 {
+            p.apply(&u);
+            if p.phase_changed() {
+                changes += 1;
+            }
+        }
+        assert!(changes >= 2, "saw {changes} phase changes");
+    }
+
+    #[test]
+    fn plant_trait_metadata() {
+        let p2 = ProcessorBuilder::new()
+            .input_set(InputSet::FreqCache)
+            .build()
+            .unwrap();
+        assert_eq!(p2.num_inputs(), 2);
+        assert_eq!(p2.num_outputs(), 2);
+        assert_eq!(p2.input_grids().len(), 2);
+        assert_eq!(p2.input_grids()[0].len(), 16);
+    }
+
+    #[test]
+    fn energy_delay_product_orders() {
+        // E×D² penalizes slow runs more than E does.
+        let fast = RunTotals {
+            energy_j: 2.0,
+            instructions_g: 1.0,
+            time_s: 0.5,
+            epochs: 1,
+        };
+        let slow = RunTotals {
+            energy_j: 1.5,
+            instructions_g: 1.0,
+            time_s: 1.5,
+            epochs: 1,
+        };
+        // Slow run has less energy, so it wins on E...
+        assert!(slow.energy_delay_product(1) < fast.energy_delay_product(1));
+        // ...but loses on E×D².
+        assert!(slow.energy_delay_product(3) > fast.energy_delay_product(3));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the simulator's physical invariants.
+
+use mimo_linalg::Vector;
+use mimo_sim::cache::CacheState;
+use mimo_sim::workload::{catalog, Phase};
+use mimo_sim::{corem, power, InputSet, Plant, PlantConfig, ProcessorBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a configuration on the actuator grids.
+fn any_config() -> impl Strategy<Value = PlantConfig> {
+    (0usize..16, 0usize..4, 1usize..=8).prop_map(|(f, c, r)| PlantConfig {
+        freq_ghz: 0.5 + 0.1 * f as f64,
+        l2_ways: [2, 4, 6, 8][c],
+        rob_entries: 16 * r,
+    })
+}
+
+/// Strategy: a physically valid phase.
+fn any_phase() -> impl Strategy<Value = Phase> {
+    (
+        0.5..3.0f64,   // ilp
+        0.0..30.0f64,  // l2_mpki
+        0.0..25.0f64,  // l1_mpki
+        0.0..2.5f64,   // cache_sens
+        0.0..1.0f64,   // rob_sens
+        0.0..12.0f64,  // branch_mpki
+        1.0..6.0f64,   // mem_parallelism
+        0.3..1.2f64,   // activity
+    )
+        .prop_map(
+            |(ilp, l2, l1, cs, rs, br, mlp, act)| Phase {
+                ilp,
+                l2_mpki: l2,
+                l1_mpki: l1,
+                cache_sens: cs,
+                rob_sens: rs,
+                branch_mpki: br,
+                mem_parallelism: mlp,
+                activity: act,
+                duration_epochs: 1000,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ipc_bounded_by_issue_width(phase in any_phase(), cfg in any_config()) {
+        let cache = CacheState::new(cfg.l2_ways);
+        let c = corem::cpi(&phase, &cfg, &cache, 1.0);
+        prop_assert!(c.ipc() > 0.0);
+        prop_assert!(c.ipc() <= corem::ISSUE_WIDTH + 1e-12);
+    }
+
+    #[test]
+    fn power_positive_and_bounded(cfg in any_config(), ipc in 0.0..3.0f64, act in 0.3..1.2f64) {
+        let p = power::total_power(&cfg, ipc, act);
+        prop_assert!(p > 0.0);
+        prop_assert!(p < 5.0, "power {p} W out of physical range");
+        // Leakage alone never exceeds total.
+        prop_assert!(power::leakage_power(&cfg) <= p);
+    }
+
+    #[test]
+    fn more_frequency_never_hurts_performance(phase in any_phase(), cfg in any_config()) {
+        prop_assume!(cfg.freq_ghz < 1.95);
+        let cache = CacheState::new(cfg.l2_ways);
+        let faster = PlantConfig { freq_ghz: cfg.freq_ghz + 0.1, ..cfg };
+        let b0 = corem::bips(&phase, &cfg, &cache, 1.0);
+        let b1 = corem::bips(&phase, &faster, &cache, 1.0);
+        prop_assert!(b1 >= b0 - 1e-9, "raising f lowered BIPS: {b0} → {b1}");
+    }
+
+    #[test]
+    fn more_cache_never_hurts_steady_state_performance(phase in any_phase(), cfg in any_config()) {
+        prop_assume!(cfg.l2_ways < 8);
+        let bigger = PlantConfig { l2_ways: cfg.l2_ways + 2, ..cfg };
+        let b0 = corem::bips(&phase, &cfg, &CacheState::new(cfg.l2_ways), 1.0);
+        let b1 = corem::bips(&phase, &bigger, &CacheState::new(bigger.l2_ways), 1.0);
+        prop_assert!(b1 >= b0 - 1e-9);
+    }
+
+    #[test]
+    fn transition_costs_symmetric_and_triangle(a in any_config(), b in any_config()) {
+        let ab = power::transition_cost(&a, &b);
+        let ba = power::transition_cost(&b, &a);
+        prop_assert!((ab.stall_us - ba.stall_us).abs() < 1e-9);
+        prop_assert!(ab.stall_us >= 0.0 && ab.energy_uj >= 0.0);
+        // No change → no cost.
+        let aa = power::transition_cost(&a, &a);
+        prop_assert_eq!(aa, power::TransitionCost::default());
+    }
+
+    #[test]
+    fn cache_warmth_stays_in_unit_interval(resizes in proptest::collection::vec(0usize..4, 1..20)) {
+        let mut c = CacheState::new(8);
+        for r in resizes {
+            c.resize([2, 4, 6, 8][r]);
+            c.tick();
+            prop_assert!((0.0..=1.0).contains(&c.warmth()), "warmth {}", c.warmth());
+        }
+    }
+
+    #[test]
+    fn plant_outputs_always_physical(seed in 0u64..50, app_idx in 0usize..28, steps in proptest::collection::vec((0usize..16, 0usize..4), 1..40)) {
+        let apps = catalog();
+        let name = apps[app_idx].name();
+        let mut plant = ProcessorBuilder::new()
+            .app(name)
+            .seed(seed)
+            .input_set(InputSet::FreqCache)
+            .build()
+            .unwrap();
+        for (f, c) in steps {
+            let u = Vector::from_slice(&[0.5 + 0.1 * f as f64, [2.0, 4.0, 6.0, 8.0][c]]);
+            let y = plant.apply(&u);
+            prop_assert!(y.all_finite());
+            prop_assert!(y[0] >= 0.0 && y[0] < 8.0, "IPS {}", y[0]);
+            prop_assert!(y[1] > 0.0 && y[1] < 5.0, "power {}", y[1]);
+        }
+        let t = plant.totals();
+        prop_assert!(t.energy_j > 0.0 && t.instructions_g > 0.0);
+    }
+
+    #[test]
+    fn run_totals_are_additive(seed in 0u64..20) {
+        let mut p1 = ProcessorBuilder::new().app("astar").seed(seed).build().unwrap();
+        let u = Vector::from_slice(&[1.3, 6.0, 48.0]);
+        for _ in 0..50 { p1.apply(&u); }
+        let half = p1.totals();
+        for _ in 0..50 { p1.apply(&u); }
+        let full = p1.totals();
+        prop_assert!(full.energy_j > half.energy_j);
+        prop_assert!(full.instructions_g > half.instructions_g);
+        prop_assert_eq!(full.epochs, 100);
+    }
+}

@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+use mimo_linalg::LinalgError;
+
+/// Errors produced during system identification.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SysidError {
+    /// The recorded input and output waveforms have inconsistent lengths
+    /// or dimensions.
+    InconsistentData {
+        /// Description of the inconsistency.
+        what: String,
+    },
+    /// Too few samples to estimate the requested model orders.
+    NotEnoughData {
+        /// Samples available.
+        have: usize,
+        /// Samples required.
+        need: usize,
+    },
+    /// The regression problem was numerically unsolvable (e.g. an input that
+    /// never moved during the experiment).
+    PoorExcitation,
+    /// An underlying linear-algebra failure.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for SysidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysidError::InconsistentData { what } => write!(f, "inconsistent data: {what}"),
+            SysidError::NotEnoughData { have, need } => {
+                write!(f, "not enough data: have {have} samples, need at least {need}")
+            }
+            SysidError::PoorExcitation => {
+                write!(f, "regression is singular; excitation did not move all inputs")
+            }
+            SysidError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for SysidError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SysidError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SysidError {
+    fn from(e: LinalgError) -> Self {
+        match e {
+            LinalgError::Singular => SysidError::PoorExcitation,
+            other => SysidError::Linalg(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_counts() {
+        let e = SysidError::NotEnoughData { have: 3, need: 10 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn singular_maps_to_poor_excitation() {
+        let e: SysidError = LinalgError::Singular.into();
+        assert_eq!(e, SysidError::PoorExcitation);
+    }
+
+    #[test]
+    fn other_linalg_errors_are_wrapped() {
+        let e: SysidError = LinalgError::EmptyInput.into();
+        assert!(matches!(e, SysidError::Linalg(_)));
+        assert!(e.source().is_some());
+    }
+}

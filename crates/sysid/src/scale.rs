@@ -1,0 +1,287 @@
+//! Signal normalization.
+//!
+//! The plant's physical units are wildly mismatched — frequency in GHz,
+//! power in watts, IPS in billions, cache level as a small integer. Least
+//! squares over raw units produces badly conditioned regressors, and LQG
+//! weights lose their paper-specified meaning. The identification and
+//! control layers therefore work in *normalized deviation coordinates*:
+//! each channel is mapped affinely so that its operating range becomes
+//! roughly `[-1, 1]` around the operating point.
+
+use mimo_linalg::Vector;
+
+/// Removes a centered moving mean from a signal record.
+///
+/// Black-box identification across several applications (or across program
+/// phases) sees large, slow output shifts that are *not* caused by the
+/// inputs; regressing on the raw record lets those shifts masquerade as
+/// strong state dynamics and corrupts the estimated gains (even their
+/// signs). Subtracting a moving mean whose window sits far above the
+/// excitation hold times and far below the phase durations removes the
+/// drift while preserving the input-driven content.
+///
+/// The window is clamped at the record edges. `window` is rounded up to an
+/// odd length.
+pub fn remove_moving_mean(seq: &[Vector], window: usize) -> Vec<Vector> {
+    if seq.is_empty() {
+        return Vec::new();
+    }
+    let dim = seq[0].len();
+    let w = window.max(1) | 1; // odd
+    let half = w / 2;
+    let n = seq.len();
+    // Prefix sums per channel for O(n) moving means.
+    let mut prefix = vec![vec![0.0_f64; n + 1]; dim];
+    for (t, v) in seq.iter().enumerate() {
+        for c in 0..dim {
+            prefix[c][t + 1] = prefix[c][t] + v[c];
+        }
+    }
+    (0..n)
+        .map(|t| {
+            let lo = t.saturating_sub(half);
+            let hi = (t + half + 1).min(n);
+            Vector::from_fn(dim, |c| {
+                let mean = (prefix[c][hi] - prefix[c][lo]) / (hi - lo) as f64;
+                seq[t][c] - mean
+            })
+        })
+        .collect()
+}
+
+/// Per-channel affine map `normalized = (raw - offset) / span`.
+///
+/// # Example
+///
+/// ```
+/// use mimo_sysid::scale::ChannelScaler;
+/// use mimo_linalg::Vector;
+///
+/// // Frequency channel 0.5..2.0 GHz, power channel 0..4 W.
+/// let s = ChannelScaler::from_ranges(&[(0.5, 2.0), (0.0, 4.0)]);
+/// let norm = s.normalize(&Vector::from_slice(&[1.25, 2.0]));
+/// assert!(norm[0].abs() < 1e-12); // midpoint maps to 0
+/// assert!(norm[1].abs() < 1e-12);
+/// let raw = s.denormalize(&norm);
+/// assert!((raw[0] - 1.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelScaler {
+    offset: Vec<f64>,
+    span: Vec<f64>,
+}
+
+impl ChannelScaler {
+    /// Builds a scaler from explicit `(offset, span)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any span is zero or non-finite.
+    pub fn new(offset: Vec<f64>, span: Vec<f64>) -> Self {
+        assert_eq!(offset.len(), span.len(), "offset/span length mismatch");
+        assert!(
+            span.iter().all(|s| s.is_finite() && *s != 0.0),
+            "spans must be nonzero and finite"
+        );
+        ChannelScaler { offset, span }
+    }
+
+    /// Builds a scaler from `(lo, hi)` ranges: the midpoint becomes the
+    /// offset and half the range becomes the span, so the range maps onto
+    /// `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is degenerate (`hi <= lo`).
+    pub fn from_ranges(ranges: &[(f64, f64)]) -> Self {
+        let mut offset = Vec::with_capacity(ranges.len());
+        let mut span = Vec::with_capacity(ranges.len());
+        for &(lo, hi) in ranges {
+            assert!(hi > lo, "degenerate range ({lo}, {hi})");
+            offset.push(0.5 * (lo + hi));
+            span.push(0.5 * (hi - lo));
+        }
+        ChannelScaler { offset, span }
+    }
+
+    /// Builds a scaler from recorded data: offset is the per-channel mean,
+    /// span is the per-channel max deviation from it (or 1.0 for a channel
+    /// that never moved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn from_data(data: &[Vector]) -> Self {
+        assert!(!data.is_empty(), "cannot infer scales from empty data");
+        let channels = data[0].len();
+        let n = data.len() as f64;
+        let mut offset = vec![0.0; channels];
+        for v in data {
+            for c in 0..channels {
+                offset[c] += v[c];
+            }
+        }
+        for o in &mut offset {
+            *o /= n;
+        }
+        let mut span = vec![0.0_f64; channels];
+        for v in data {
+            for c in 0..channels {
+                span[c] = span[c].max((v[c] - offset[c]).abs());
+            }
+        }
+        for s in &mut span {
+            if *s == 0.0 {
+                *s = 1.0;
+            }
+        }
+        ChannelScaler { offset, span }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.offset.len()
+    }
+
+    /// Per-channel offsets (the operating point).
+    pub fn offsets(&self) -> &[f64] {
+        &self.offset
+    }
+
+    /// Per-channel spans.
+    pub fn spans(&self) -> &[f64] {
+        &self.span
+    }
+
+    /// Maps a raw vector into normalized coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len()` differs from the channel count.
+    pub fn normalize(&self, raw: &Vector) -> Vector {
+        assert_eq!(raw.len(), self.channels(), "channel count mismatch");
+        Vector::from_fn(raw.len(), |c| (raw[c] - self.offset[c]) / self.span[c])
+    }
+
+    /// Maps a normalized vector back to raw units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norm.len()` differs from the channel count.
+    pub fn denormalize(&self, norm: &Vector) -> Vector {
+        assert_eq!(norm.len(), self.channels(), "channel count mismatch");
+        Vector::from_fn(norm.len(), |c| norm[c] * self.span[c] + self.offset[c])
+    }
+
+    /// Normalizes a whole sequence.
+    pub fn normalize_all(&self, raw: &[Vector]) -> Vec<Vector> {
+        raw.iter().map(|v| self.normalize(v)).collect()
+    }
+
+    /// Denormalizes a whole sequence.
+    pub fn denormalize_all(&self, norm: &[Vector]) -> Vec<Vector> {
+        norm.iter().map(|v| self.denormalize(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let s = ChannelScaler::from_ranges(&[(0.5, 2.0), (16.0, 128.0)]);
+        let raw = Vector::from_slice(&[0.7, 48.0]);
+        let back = s.denormalize(&s.normalize(&raw));
+        assert!((&back - &raw).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn range_maps_to_unit_interval() {
+        let s = ChannelScaler::from_ranges(&[(0.5, 2.0)]);
+        assert!((s.normalize(&Vector::from_slice(&[0.5]))[0] + 1.0).abs() < 1e-12);
+        assert!((s.normalize(&Vector::from_slice(&[2.0]))[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_data_centers_on_mean() {
+        let data = vec![
+            Vector::from_slice(&[1.0, 10.0]),
+            Vector::from_slice(&[3.0, 10.0]),
+        ];
+        let s = ChannelScaler::from_data(&data);
+        assert!((s.offsets()[0] - 2.0).abs() < 1e-12);
+        // Channel 1 never moved: span defaults to 1.0.
+        assert_eq!(s.spans()[1], 1.0);
+        let n = s.normalize(&Vector::from_slice(&[3.0, 10.0]));
+        assert!((n[0] - 1.0).abs() < 1e-12);
+        assert_eq!(n[1], 0.0);
+    }
+
+    #[test]
+    fn normalize_all_applies_elementwise() {
+        let s = ChannelScaler::from_ranges(&[(0.0, 2.0)]);
+        let seq = vec![Vector::from_slice(&[0.0]), Vector::from_slice(&[2.0])];
+        let normed = s.normalize_all(&seq);
+        assert_eq!(normed[0][0], -1.0);
+        assert_eq!(normed[1][0], 1.0);
+        let back = s.denormalize_all(&normed);
+        assert_eq!(back[1][0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate range")]
+    fn rejects_degenerate_range() {
+        let _ = ChannelScaler::from_ranges(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn rejects_wrong_width() {
+        let s = ChannelScaler::from_ranges(&[(0.0, 1.0)]);
+        let _ = s.normalize(&Vector::from_slice(&[0.0, 1.0]));
+    }
+}
+
+
+#[cfg(test)]
+mod detrend_tests {
+    use super::*;
+
+    #[test]
+    fn removes_constant_offset() {
+        let seq: Vec<Vector> = (0..100).map(|_| Vector::from_slice(&[5.0])).collect();
+        let out = remove_moving_mean(&seq, 11);
+        assert!(out.iter().all(|v| v[0].abs() < 1e-12));
+    }
+
+    #[test]
+    fn preserves_fast_content_removes_slow_step() {
+        // Slow step at t=200 plus fast ±1 square wave of period 10.
+        let seq: Vec<Vector> = (0..400)
+            .map(|t| {
+                let slow = if t < 200 { 0.0 } else { 10.0 };
+                let fast = if (t / 5) % 2 == 0 { 1.0 } else { -1.0 };
+                Vector::from_slice(&[slow + fast])
+            })
+            .collect();
+        let out = remove_moving_mean(&seq, 101);
+        // Away from the step, the fast wave survives nearly intact.
+        assert!((out[100][0].abs() - 1.0).abs() < 0.1, "{}", out[100][0]);
+        assert!((out[300][0].abs() - 1.0).abs() < 0.1);
+        // The slow 10.0 offset is gone in the second half interior.
+        assert!(out[350][0].abs() < 1.5);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(remove_moving_mean(&[], 11).is_empty());
+    }
+
+    #[test]
+    fn window_one_zeroes_everything() {
+        let seq = vec![Vector::from_slice(&[3.0]); 5];
+        let out = remove_moving_mean(&seq, 1);
+        assert!(out.iter().all(|v| v[0].abs() < 1e-12));
+    }
+}

@@ -1,0 +1,58 @@
+//! Time-varying tracking (§V "Time-Varying Tracking"): a battery-aware
+//! agent lowers the (IPS, power) targets as the modeled charge drains,
+//! and the MIMO controller re-tracks each new reference.
+//!
+//! ```text
+//! cargo run --release --example battery_aware
+//! ```
+
+use mimo_arch::core::governor::MimoGovernor;
+use mimo_arch::exp::qoe::BatterySchedule;
+use mimo_arch::exp::runner::run_schedule;
+use mimo_arch::exp::setup;
+use mimo_arch::sim::InputSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Design the controller once (identification + synthesis + RSA).
+    let design = setup::design_mimo(InputSet::FreqCache, 42)?;
+    let mut governor = MimoGovernor::new(design.controller);
+
+    // Build the battery schedule: 1 J supply, targets re-planned every
+    // 2000 epochs (100 ms), QoE-style rolloff below half charge.
+    let schedule = BatterySchedule::paper_default().schedule(10_000);
+    println!("battery plan ({} reference steps):", schedule.len());
+    for step in &schedule {
+        println!(
+            "  from epoch {:>5}: track {:.2} BIPS at {:.2} W",
+            step.epoch, step.targets[0], step.targets[1]
+        );
+    }
+
+    // Run it on a cache-sensitive production app.
+    let mut cpu = setup::plant("milc", InputSet::FreqCache, 7);
+    let trace = run_schedule(&mut governor, &mut cpu, &schedule, 10_000);
+
+    // Summarize tracking quality per reference segment.
+    for (i, step) in schedule.iter().enumerate() {
+        let end = schedule
+            .get(i + 1)
+            .map_or(trace.outputs.len(), |s| s.epoch.min(trace.outputs.len()));
+        // Skip the first 200 epochs of each segment (re-convergence).
+        let start = (step.epoch + 200).min(end);
+        if start >= end {
+            continue;
+        }
+        let n = (end - start) as f64;
+        let avg_ips: f64 = trace.outputs[start..end].iter().map(|y| y[0]).sum::<f64>() / n;
+        let avg_p: f64 = trace.outputs[start..end].iter().map(|y| y[1]).sum::<f64>() / n;
+        println!(
+            "segment {i}: target ({:.2}, {:.2}) → achieved ({avg_ips:.2}, {avg_p:.2})",
+            step.targets[0], step.targets[1]
+        );
+    }
+    println!(
+        "overall IPS tracking error: {:.1}%",
+        trace.ips_tracking_error_pct()
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Fast Optimization Leveraging Tracking (§V): minimize Energy×Delay by
+//! hill-climbing in the small (IPS, power) *target* space while the MIMO
+//! controller realizes each trial point — no low-level configuration
+//! search needed.
+//!
+//! ```text
+//! cargo run --release --example energy_tuner
+//! ```
+
+use mimo_arch::core::governor::{FixedGovernor, MimoGovernor};
+use mimo_arch::core::optimizer::Metric;
+use mimo_arch::exp::runner::{run_optimization, run_self_directed};
+use mimo_arch::exp::setup;
+use mimo_arch::linalg::Vector;
+use mimo_arch::sim::InputSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let metric = Metric::EnergyDelay;
+    let budget_g = 1.0; // billions of instructions of real work per run
+
+    // The Baseline architecture: inputs fixed at the training-set optimum.
+    let baseline_cfg = setup::baseline_config(InputSet::FreqCache, metric, 1);
+    println!(
+        "baseline (fixed): {:.1} GHz, L2 {} ways",
+        baseline_cfg.freq_ghz, baseline_cfg.l2_ways
+    );
+
+    let mimo = setup::design_mimo(InputSet::FreqCache, 1)?;
+
+    for app in ["povray", "milc", "lbm"] {
+        // Baseline run.
+        let mut base_gov = FixedGovernor::new(Vector::from_slice(
+            &baseline_cfg.to_actuation(InputSet::FreqCache),
+        ));
+        let mut cpu = setup::plant(app, InputSet::FreqCache, 11);
+        let base = run_self_directed(&mut base_gov, &mut cpu, metric, budget_g);
+
+        // MIMO + optimizer run on an identical plant.
+        let mut gov = MimoGovernor::new(mimo.controller.clone());
+        let mut cpu = setup::plant(app, InputSet::FreqCache, 11);
+        let tuned = run_optimization(&mut gov, &mut cpu, metric, budget_g);
+
+        println!(
+            "{app:>8}: E×D {:.4} (baseline {:.4}) → {:+.1}%  [{:.2} BIPS avg, {:.2} J]",
+            tuned.ed_product,
+            base.ed_product,
+            (tuned.ed_product / base.ed_product - 1.0) * 100.0,
+            tuned.instructions_g / tuned.time_s,
+            tuned.energy_j,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Quickstart: run the full Figure 3 design flow against the simulated
+//! processor and track the paper's dual (IPS, power) references.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mimo_arch::core::design::DesignFlow;
+use mimo_arch::core::governor::{Governor, MimoGovernor};
+use mimo_arch::linalg::Vector;
+use mimo_arch::sim::{InputSet, Plant, ProcessorBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the training plants (the paper's four-application set).
+    let mut training: Vec<_> = ["sjeng", "gobmk", "leslie3d", "namd"]
+        .iter()
+        .enumerate()
+        .map(|(k, app)| {
+            ProcessorBuilder::new()
+                .app(app)
+                .seed(k as u64)
+                .input_set(InputSet::FreqCache)
+                .build()
+        })
+        .collect::<Result<_, _>>()?;
+
+    // 2. Identify a model and synthesize the MIMO LQG controller.
+    let flow = DesignFlow::two_input();
+    let result = flow.run_multi(training.iter_mut())?;
+    println!(
+        "identified a dimension-{} model from {} samples",
+        result.model.state_dim(),
+        result.training_samples
+    );
+
+    // 3. Validate on held-out applications, set uncertainty guardbands,
+    //    and run Robust Stability Analysis.
+    let mut validation: Vec<_> = ["h264ref", "tonto"]
+        .iter()
+        .map(|app| {
+            ProcessorBuilder::new()
+                .app(app)
+                .seed(99)
+                .input_set(InputSet::FreqCache)
+                .build()
+        })
+        .collect::<Result<_, _>>()?;
+    let validated = flow.validate(result, validation.iter_mut())?;
+    println!(
+        "guardbands: {:.0}% IPS / {:.0}% power; robust = {} (peak gain {:.2})",
+        validated.guardbands[0] * 100.0,
+        validated.guardbands[1] * 100.0,
+        validated.rsa.robust,
+        validated.rsa.peak_weighted_gain,
+    );
+
+    // 4. Deploy: track (2.8 BIPS, 1.9 W) on a production application.
+    let mut governor = MimoGovernor::new(validated.controller);
+    let targets = Vector::from_slice(&[2.8, 1.9]);
+    governor.set_targets(&targets);
+    let mut cpu = ProcessorBuilder::new()
+        .app("astar")
+        .seed(7)
+        .input_set(InputSet::FreqCache)
+        .build()?;
+    let mut y = Vector::from_slice(&[1.0, 1.0]);
+    for epoch in 0..2000 {
+        let u = governor.decide(&y, cpu.phase_changed());
+        y = cpu.apply(&u);
+        if epoch % 400 == 0 {
+            println!(
+                "epoch {epoch:>4}: freq {:.1} GHz, L2 {} ways → {:.2} BIPS, {:.2} W",
+                u[0], u[1] as usize, y[0], y[1]
+            );
+        }
+    }
+    let t = cpu.totals();
+    println!(
+        "ran {:.2} G instructions, avg {:.2} BIPS at {:.2} W",
+        t.instructions_g,
+        t.avg_bips(),
+        t.avg_power()
+    );
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Scaled-down runs of every paper experiment, asserting the qualitative
+//! shape each figure is supposed to show.
+
+use mimo_arch::core::optimizer::Metric;
+use mimo_arch::exp::experiments::{self, ExpConfig};
+use mimo_arch::sim::InputSet;
+
+#[test]
+fn fig06_equal_weights_do_not_converge() {
+    let cfg = ExpConfig::quick();
+    let points = experiments::fig06(&cfg).expect("fig06");
+    assert_eq!(points.len(), 4);
+    let equal = &points[0];
+    assert_eq!(equal.label, "Equal");
+    let power = &points[2];
+    // The Power set tracks power much better than Equal (the paper's
+    // "reduces the P tracking error to less than 10%").
+    assert!(
+        power.err_power_pct < 10.0,
+        "Power set err {:?}",
+        power.err_power_pct
+    );
+    assert!(
+        equal.err_power_pct > 2.0 * power.err_power_pct,
+        "Equal {} vs Power {}",
+        equal.err_power_pct,
+        power.err_power_pct
+    );
+}
+
+#[test]
+fn fig07_error_decreases_then_plateaus_with_dimension() {
+    let cfg = ExpConfig::quick();
+    let points = experiments::fig07(&cfg).expect("fig07");
+    assert_eq!(points.len(), 4);
+    let dims: Vec<usize> = points.iter().map(|p| p.dimension).collect();
+    assert_eq!(dims, vec![2, 4, 6, 8]);
+    let total = |p: &experiments::Fig07Point| p.err_ips_pct + p.err_power_pct;
+    // Dimension 4 is no worse than dimension 2; 6 and 8 add little.
+    assert!(total(&points[1]) <= total(&points[0]) * 1.02);
+    assert!(total(&points[3]) >= total(&points[1]) * 0.8);
+}
+
+#[test]
+fn fig08_low_uncertainty_design_is_not_slower() {
+    let cfg = ExpConfig::quick();
+    let points = experiments::fig08(&cfg).expect("fig08");
+    assert_eq!(points.len(), 2);
+    // Both designs pass RSA and settle. The High-vs-Low convergence-time
+    // ordering is demonstrated by the full-length `fig08` binary run; the
+    // last-input-movement metric is too noise-sensitive at smoke scale to
+    // assert an ordering here.
+    assert_eq!(points[0].label, "High Uncertainty");
+    assert_eq!(points[1].label, "Low Uncertainty");
+    for p in &points {
+        assert!(
+            p.steady_freq.is_finite() && p.steady_cache.is_finite(),
+            "design did not settle: {p:?}"
+        );
+    }
+}
+
+#[test]
+fn fig09_mimo_beats_heuristic_beats_decoupled_on_exd() {
+    let cfg = ExpConfig::quick();
+    let r = experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::EnergyDelay)
+        .expect("fig09");
+    assert_eq!(r.rows.len(), 6);
+    // Ordering: MIMO <= Heuristic < Decoupled on average.
+    let dec = r.avg_decoupled.expect("2-input run has Decoupled");
+    assert!(
+        r.avg_mimo < r.avg_heuristic + 0.02,
+        "MIMO {} vs Heuristic {}",
+        r.avg_mimo,
+        r.avg_heuristic
+    );
+    assert!(r.avg_mimo < dec, "MIMO {} vs Decoupled {dec}", r.avg_mimo);
+    // Memory-bound apps must show clear MIMO savings vs Baseline.
+    let mcf = r.rows.iter().find(|row| row.app == "mcf").unwrap();
+    assert!(mcf.mimo < 0.9, "mcf MIMO ratio {}", mcf.mimo);
+}
+
+#[test]
+fn fig11_tracking_shapes() {
+    let cfg = ExpConfig::quick();
+    let r = experiments::fig11(&cfg).expect("fig11");
+    // Non-responsive apps have much larger IPS errors than responsive
+    // ones for every architecture.
+    for a in 0..3 {
+        assert!(
+            r.non_responsive_avg[a].0 > 2.0 * r.responsive_avg[a].0,
+            "arch {a}: {:?} vs {:?}",
+            r.non_responsive_avg[a],
+            r.responsive_avg[a]
+        );
+    }
+    // MIMO's power tracking on responsive apps is tight.
+    assert!(r.responsive_avg[0].1 < 10.0, "{:?}", r.responsive_avg);
+}
+
+#[test]
+fn fig12_mimo_tracks_the_battery_schedule_best() {
+    let cfg = ExpConfig::quick();
+    let runs = experiments::fig12(&cfg).expect("fig12");
+    assert_eq!(runs.len(), 6); // 2 apps x 3 architectures
+    for app in ["astar", "milc"] {
+        let err = |arch: &str| {
+            runs.iter()
+                .find(|r| r.app == app && r.arch == arch)
+                .unwrap()
+                .trace
+                .ips_tracking_error_pct()
+        };
+        let (m, h, d) = (err("MIMO"), err("Heuristic"), err("Decoupled"));
+        // MIMO is never the worst tracker of the three.
+        assert!(
+            m <= h.max(d) + 1e-9,
+            "{app}: MIMO {m:.1}% vs Heuristic {h:.1}% / Decoupled {d:.1}%"
+        );
+    }
+}
