@@ -21,7 +21,13 @@ use mimo_sim::{InputSet, Plant, ProcessorBuilder};
 use mimo_sysid::arx::{ArxModel, ArxOrders};
 
 fn bench_linalg(c: &mut Criterion) {
-    let a = Matrix::from_fn(8, 8, |i, j| if i == j { 2.0 } else { 0.1 * ((i + j) % 5) as f64 });
+    let a = Matrix::from_fn(8, 8, |i, j| {
+        if i == j {
+            2.0
+        } else {
+            0.1 * ((i + j) % 5) as f64
+        }
+    });
     c.bench_function("linalg/lu_solve_8x8", |b| {
         let rhs = Matrix::identity(8);
         b.iter(|| black_box(&a).solve(black_box(&rhs)).unwrap())
@@ -60,7 +66,11 @@ fn bench_lqg_step(c: &mut Criterion) {
 }
 
 fn bench_sim_epoch(c: &mut Criterion) {
-    let mut cpu = ProcessorBuilder::new().app("astar").seed(3).build().unwrap();
+    let mut cpu = ProcessorBuilder::new()
+        .app("astar")
+        .seed(3)
+        .build()
+        .unwrap();
     let u = Vector::from_slice(&[1.3, 6.0, 48.0]);
     c.bench_function("sim/processor_epoch", |b| {
         b.iter(|| cpu.apply(black_box(&u)))
@@ -136,10 +146,45 @@ fn bench_figures(c: &mut Criterion) {
             let mut p = 1.0;
             while let Some(t) = opt.observe(ips, p) {
                 ips = t[0].min(3.0);
-                p = (t[1]).min(2.5).max(0.3);
+                p = t[1].clamp(0.3, 2.5);
             }
             black_box(opt.targets())
         })
+    });
+}
+
+/// Fleet-runtime cost: one chip-budgeted multi-core epoch sweep, single-
+/// and multi-worker, plus the arbiter alone.
+fn bench_fleet(c: &mut Criterion) {
+    let design = setup::design_mimo(InputSet::FreqCache, 9).expect("design");
+    for workers in [1usize, 2] {
+        c.bench_function(&format!("fleet/16_cores_50_epochs_w{workers}"), |b| {
+            b.iter(|| {
+                let cfg = mimo_fleet::FleetConfig::new(16)
+                    .workers(workers)
+                    .epochs(50)
+                    .seed(11);
+                let runner =
+                    mimo_fleet::FleetRunner::with_shared_controller(cfg, &design.controller)
+                        .unwrap();
+                black_box(runner.run().digest())
+            })
+        });
+    }
+    c.bench_function("fleet/arbitrate_64_cores", |b| {
+        let mut arb = mimo_fleet::BudgetArbiter::new(
+            76.8,
+            mimo_fleet::ArbitrationPolicy::Proportional,
+            [3.0, 1.9],
+            vec![1.0; 64],
+        );
+        let obs: Vec<mimo_fleet::CoreObs> = (0..64)
+            .map(|i| mimo_fleet::CoreObs {
+                ips: 2.0 + 0.01 * i as f64,
+                power: 1.0 + 0.01 * i as f64,
+            })
+            .collect();
+        b.iter(|| black_box(arb.arbitrate(black_box(&obs))))
     });
 }
 
@@ -150,6 +195,7 @@ criterion_group!(
     bench_lqg_step,
     bench_sim_epoch,
     bench_sysid_fit,
-    bench_figures
+    bench_figures,
+    bench_fleet
 );
 criterion_main!(benches);

@@ -144,9 +144,11 @@ impl Governor for DecoupledGovernor {
 ///
 /// Propagates identification and synthesis failures from either loop.
 pub fn design_decoupled<P: Plant>(plants: &mut [P], seed: u64) -> Result<DecoupledGovernor> {
-    let first = plants.first().ok_or(crate::ControlError::DimensionMismatch {
-        what: "decoupled design needs at least one training plant".into(),
-    })?;
+    let first = plants
+        .first()
+        .ok_or(crate::ControlError::DimensionMismatch {
+            what: "decoupled design needs at least one training plant".into(),
+        })?;
     let grids = first.input_grids();
     let pinned: Vec<f64> = grids.iter().map(|g| g[g.len() / 2]).collect();
 
@@ -186,7 +188,7 @@ pub fn design_decoupled<P: Plant>(plants: &mut [P], seed: u64) -> Result<Decoupl
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mimo_sim::{InputSet, ProcessorBuilder, Processor};
+    use mimo_sim::{InputSet, Processor, ProcessorBuilder};
 
     fn plant(app: &str, seed: u64) -> Processor {
         ProcessorBuilder::new()

@@ -64,7 +64,10 @@ impl IdentificationData {
 }
 
 /// Drives `plant` with an excitation and records the response.
-pub fn record_excitation<P: Plant + ?Sized>(plant: &mut P, excitation: &Excitation) -> IdentificationData {
+pub fn record_excitation<P: Plant + ?Sized>(
+    plant: &mut P,
+    excitation: &Excitation,
+) -> IdentificationData {
     let mut data = IdentificationData::default();
     for t in 0..excitation.len() {
         let u = excitation.sample(t).clone();
@@ -153,7 +156,10 @@ impl DesignFlow {
     pub fn excitation_for<P: Plant + ?Sized>(&self, plant: &P, seed: u64) -> Excitation {
         let grids = plant.input_grids();
         let lo: Vec<f64> = grids.iter().map(|g| g[0]).collect();
-        let hi: Vec<f64> = grids.iter().map(|g| *g.last().expect("nonempty grid")).collect();
+        let hi: Vec<f64> = grids
+            .iter()
+            .map(|g| *g.last().expect("nonempty grid"))
+            .collect();
         let levels: Vec<usize> = grids.iter().map(Vec::len).collect();
         identification_waveform(self.segment_epochs, &lo, &hi, &levels, seed)
     }
@@ -190,8 +196,7 @@ impl DesignFlow {
                 grids = Some(plant.input_grids());
                 n_inputs = plant.num_inputs();
                 n_outputs = plant.num_outputs();
-                if self.weights.input.len() != n_inputs || self.weights.output.len() != n_outputs
-                {
+                if self.weights.input.len() != n_inputs || self.weights.output.len() != n_outputs {
                     return Err(ControlError::DimensionMismatch {
                         what: format!(
                             "weight set '{}' has {}in/{}out for a {}in/{}out plant",
@@ -281,7 +286,11 @@ impl DesignFlow {
     ///
     /// Returns [`ControlError::ValidationFailed`] if no redesign within the
     /// budget passes RSA; propagates numerical failures.
-    pub fn validate<'p, P, It>(&self, result: DesignResult, validation: It) -> Result<ValidatedDesign>
+    pub fn validate<'p, P, It>(
+        &self,
+        result: DesignResult,
+        validation: It,
+    ) -> Result<ValidatedDesign>
     where
         P: Plant + ?Sized + 'p,
         It: IntoIterator<Item = &'p mut P>,

@@ -36,7 +36,11 @@ impl SensitivityRanking {
     /// Inputs ranked by performance impact, highest first.
     pub fn perf_order(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.perf_impact.len()).collect();
-        idx.sort_by(|&a, &b| self.perf_impact[b].partial_cmp(&self.perf_impact[a]).unwrap());
+        idx.sort_by(|&a, &b| {
+            self.perf_impact[b]
+                .partial_cmp(&self.perf_impact[a])
+                .unwrap()
+        });
         idx
     }
 
@@ -528,8 +532,7 @@ mod tests {
     fn optimizer_search_terminates_and_improves() {
         // Synthetic scoring: score is maximized at the highest frequency
         // (ips = f, p = 1). The search should land near the top setting.
-        let mut opt =
-            HeuristicOptimizer::new(grids2(), ranking2(), Metric::EnergyDelay, 10);
+        let mut opt = HeuristicOptimizer::new(grids2(), ranking2(), Metric::EnergyDelay, 10);
         let mut u = opt.actuation();
         for _ in 0..OPT_DWELL * 40 {
             if opt.is_done() {

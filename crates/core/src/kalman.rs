@@ -74,7 +74,7 @@ impl KalmanFilter {
         let pct = &p * &sys.c().transpose();
         let s = &(sys.c() * &pct) + v;
         let gain_t = s
-            .solve(&(&(sys.a() * &pct)).transpose())
+            .solve(&(sys.a() * &pct).transpose())
             .map_err(ControlError::Linalg)?;
         let l = gain_t.transpose();
         let a_est = sys.a() - &(&l * sys.c());
@@ -113,8 +113,7 @@ impl KalmanFilter {
     ///
     /// Panics on dimension mismatches (programming errors).
     pub fn update(&self, sys: &StateSpace, xhat: &Vector, u: &Vector, y: &Vector) -> Vector {
-        let y_pred = &sys.c().mul_vec(xhat).expect("x dim")
-            + &sys.d().mul_vec(u).expect("u dim");
+        let y_pred = &sys.c().mul_vec(xhat).expect("x dim") + &sys.d().mul_vec(u).expect("u dim");
         let innov = y - &y_pred;
         let correction = self.l.mul_vec(&innov).expect("innovation dim");
         &(&sys.a().mul_vec(xhat).expect("x dim") + &sys.b().mul_vec(u).expect("u dim"))

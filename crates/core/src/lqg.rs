@@ -164,11 +164,8 @@ impl LqgDesign {
         let r_mat = Matrix::diag(&self.input_weights);
 
         let lqr: LqrGain = design_lqr(&a_aug, &b_aug, &q_aug, &r_mat)?;
-        let kalman = KalmanFilter::design(
-            &self.model,
-            &self.process_noise,
-            &self.measurement_noise,
-        )?;
+        let kalman =
+            KalmanFilter::design(&self.model, &self.process_noise, &self.measurement_noise)?;
 
         let mut ctrl = LqgController {
             f: lqr.k,

@@ -78,7 +78,10 @@ pub(crate) fn validate_weight(w: &Matrix, name: &str, strict: bool) -> Result<()
         let d = w[(i, i)];
         if d < 0.0 || (strict && d <= 0.0) || !d.is_finite() {
             return Err(ControlError::BadWeights {
-                what: format!("{name}[{i},{i}] = {d} must be {}", if strict { "positive" } else { "non-negative" }),
+                what: format!(
+                    "{name}[{i},{i}] = {d} must be {}",
+                    if strict { "positive" } else { "non-negative" }
+                ),
             });
         }
         for j in 0..n {

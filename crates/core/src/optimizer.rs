@@ -197,7 +197,7 @@ mod tests {
         assert!(opt.is_done());
         assert_eq!(opt.tries_used(), 5);
         assert_eq!(steps, 4); // the 5th observe returns None
-        // Further observes are inert.
+                              // Further observes are inert.
         assert!(opt.observe(10.0, 1.0).is_none());
     }
 

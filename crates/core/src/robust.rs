@@ -170,7 +170,11 @@ pub fn analyze(
     Ok(RobustReport {
         nominal_radius,
         peak_weighted_gain: peak_wt,
-        uniform_margin: if peak_t > 0.0 { 1.0 / peak_t } else { f64::INFINITY },
+        uniform_margin: if peak_t > 0.0 {
+            1.0 / peak_t
+        } else {
+            f64::INFINITY
+        },
         robust: peak_wt < 1.0,
     })
 }
@@ -313,6 +317,9 @@ mod tests {
             y_phys = out_scaler.denormalize(&y_norm);
             assert!(y_phys.all_finite());
         }
-        assert!(x.norm_inf() < 100.0, "diverged under tolerated perturbation");
+        assert!(
+            x.norm_inf() < 100.0,
+            "diverged under tolerated perturbation"
+        );
     }
 }

@@ -15,11 +15,16 @@ fn main() {
     println!("### Figure 12 — time-varying tracking");
     experiments::fig12(&cfg).expect("fig12");
     println!("### Figure 9 — E×D, 2 inputs");
-    experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::EnergyDelay).expect("fig09");
+    experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::EnergyDelay)
+        .expect("fig09");
     println!("### Figure 10 — E×D, 3 inputs");
-    experiments::optimization_experiment(&cfg, InputSet::FreqCacheRob, Metric::EnergyDelay).expect("fig10");
+    experiments::optimization_experiment(&cfg, InputSet::FreqCacheRob, Metric::EnergyDelay)
+        .expect("fig10");
     println!("### §VIII-F — E and E×D²");
     experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::Energy).expect("E");
-    experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::EnergyDelaySquared).expect("ED2");
+    experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::EnergyDelaySquared)
+        .expect("ED2");
+    println!("### Fleet scaling — chip-budgeted many-core runtime");
+    experiments::fleet_scale(&cfg).expect("fleet_scale");
     println!("done; CSVs in results/");
 }

@@ -7,8 +7,15 @@ fn main() {
         match setup::design_mimo(InputSet::FreqCache, seed) {
             Ok(v) => {
                 let dc = v.model.dc_gain().unwrap();
-                println!("2in seed {seed}: dc = [{:.3} {:.3}; {:.3} {:.3}] gb {:?} redesigns {}",
-                    dc[(0,0)], dc[(0,1)], dc[(1,0)], dc[(1,1)], v.guardbands, v.redesigns);
+                println!(
+                    "2in seed {seed}: dc = [{:.3} {:.3}; {:.3} {:.3}] gb {:?} redesigns {}",
+                    dc[(0, 0)],
+                    dc[(0, 1)],
+                    dc[(1, 0)],
+                    dc[(1, 1)],
+                    v.guardbands,
+                    v.redesigns
+                );
             }
             Err(e) => println!("2in seed {seed}: FAILED {e}"),
         }
@@ -17,8 +24,15 @@ fn main() {
         match setup::design_mimo(InputSet::FreqCacheRob, seed) {
             Ok(v) => {
                 let dc = v.model.dc_gain().unwrap();
-                println!("3in seed {seed}: dc row0 [{:.3} {:.3} {:.3}] row1 [{:.3} {:.3} {:.3}]",
-                    dc[(0,0)], dc[(0,1)], dc[(0,2)], dc[(1,0)], dc[(1,1)], dc[(1,2)]);
+                println!(
+                    "3in seed {seed}: dc row0 [{:.3} {:.3} {:.3}] row1 [{:.3} {:.3} {:.3}]",
+                    dc[(0, 0)],
+                    dc[(0, 1)],
+                    dc[(0, 2)],
+                    dc[(1, 0)],
+                    dc[(1, 1)],
+                    dc[(1, 2)]
+                );
             }
             Err(e) => println!("3in seed {seed}: FAILED {e}"),
         }
@@ -32,6 +46,11 @@ fn main() {
     for t in 0..600 {
         let u = ctrl.step(&y);
         y = mimo_sim::Plant::apply(&mut plant, &u);
-        if t % 100 == 0 { println!("t={t} u=[{:.2},{:.0}] y=[{:.2},{:.2}]", u[0], u[1], y[0], y[1]); }
+        if t % 100 == 0 {
+            println!(
+                "t={t} u=[{:.2},{:.0}] y=[{:.2},{:.2}]",
+                u[0], u[1], y[0], y[1]
+            );
+        }
     }
 }

@@ -4,7 +4,11 @@ use mimo_exp::experiments::{optimization_experiment, ExpConfig};
 use mimo_sim::InputSet;
 fn main() {
     let cfg = ExpConfig::full();
-    let r = optimization_experiment(&cfg, InputSet::FreqCacheRob, Metric::EnergyDelay).expect("fig10");
-    println!("paper: MIMO -25%, Heuristic -12% | measured: MIMO {:+.1}%, Heuristic {:+.1}%",
-        (r.avg_mimo - 1.0) * 100.0, (r.avg_heuristic - 1.0) * 100.0);
+    let r =
+        optimization_experiment(&cfg, InputSet::FreqCacheRob, Metric::EnergyDelay).expect("fig10");
+    println!(
+        "paper: MIMO -25%, Heuristic -12% | measured: MIMO {:+.1}%, Heuristic {:+.1}%",
+        (r.avg_mimo - 1.0) * 100.0,
+        (r.avg_heuristic - 1.0) * 100.0
+    );
 }

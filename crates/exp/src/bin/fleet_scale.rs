@@ -1,0 +1,14 @@
+//! Fleet scaling: N per-core MIMO governors under one chip power budget,
+//! swept over fleet sizes and worker-thread counts.
+fn main() {
+    let cfg = mimo_exp::experiments::ExpConfig::full();
+    let points = mimo_exp::experiments::fleet_scale(&cfg).expect("fleet_scale");
+    for pair in points.chunks(2) {
+        assert!(
+            pair.iter().all(|p| p.digest == pair[0].digest),
+            "worker count changed results at N={}",
+            pair[0].stats.n_cores
+        );
+    }
+    println!("done; results/fleet_scale.csv");
+}

@@ -5,7 +5,8 @@ use mimo_sim::InputSet;
 fn main() {
     let cfg = ExpConfig::full();
     let e = optimization_experiment(&cfg, InputSet::FreqCache, Metric::Energy).expect("E");
-    let ed2 = optimization_experiment(&cfg, InputSet::FreqCache, Metric::EnergyDelaySquared).expect("ED2");
+    let ed2 = optimization_experiment(&cfg, InputSet::FreqCache, Metric::EnergyDelaySquared)
+        .expect("ED2");
     println!("E    — paper: MIMO -9%, Heuristic -1%, Decoupled 0% | measured: {:+.1}% / {:+.1}% / {:+.1}%",
         (e.avg_mimo-1.0)*100.0, (e.avg_heuristic-1.0)*100.0, (e.avg_decoupled.unwrap()-1.0)*100.0);
     println!("E×D² — paper: MIMO -18%, Heuristic -7%, Decoupled -4% | measured: {:+.1}% / {:+.1}% / {:+.1}%",

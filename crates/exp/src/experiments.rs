@@ -147,13 +147,25 @@ pub fn fig06(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig06Point>> {
         println!(
             "{}",
             report::ascii_table(
-                &["weights", "steady(freq)", "steady(cache)", "err IPS %", "err P %"],
+                &[
+                    "weights",
+                    "steady(freq)",
+                    "steady(cache)",
+                    "err IPS %",
+                    "err P %"
+                ],
                 &rows
             )
         );
         let _ = report::write_csv(
             "fig06_weights.csv",
-            &["label", "steady_freq", "steady_cache", "err_ips_pct", "err_power_pct"],
+            &[
+                "label",
+                "steady_freq",
+                "steady_cache",
+                "err_ips_pct",
+                "err_power_pct",
+            ],
             &rows,
         );
     }
@@ -322,7 +334,10 @@ pub fn fig08(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig08Point>> {
             .collect();
         println!(
             "{}",
-            report::ascii_table(&["design", "steady(freq) epochs", "steady(cache) epochs"], &rows)
+            report::ascii_table(
+                &["design", "steady(freq) epochs", "steady(cache) epochs"],
+                &rows
+            )
         );
         let _ = report::write_csv(
             "fig08_guardband.csv",
@@ -428,8 +443,8 @@ pub fn optimization_experiment(
     let n = rows.len() as f64;
     let avg_mimo = rows.iter().map(|r| r.mimo).sum::<f64>() / n;
     let avg_heuristic = rows.iter().map(|r| r.heuristic).sum::<f64>() / n;
-    let avg_decoupled = with_decoupled
-        .then(|| rows.iter().filter_map(|r| r.decoupled).sum::<f64>() / n);
+    let avg_decoupled =
+        with_decoupled.then(|| rows.iter().filter_map(|r| r.decoupled).sum::<f64>() / n);
 
     let result = OptResult {
         rows,
@@ -466,7 +481,9 @@ fn emit_opt(result: &OptResult, input_set: InputSet, metric: Metric) {
         "AVG".into(),
         report::fmt(result.avg_mimo, 3),
         report::fmt(result.avg_heuristic, 3),
-        result.avg_decoupled.map_or("-".into(), |d| report::fmt(d, 3)),
+        result
+            .avg_decoupled
+            .map_or("-".into(), |d| report::fmt(d, 3)),
     ]);
     println!("\n== {title} ==");
     println!(
@@ -550,7 +567,10 @@ pub fn fig11(cfg: &ExpConfig) -> mimo_core::Result<Fig11Result> {
     }
 
     let class_avg = |non_resp: bool| -> [(f64, f64); 3] {
-        let class: Vec<&Fig11Row> = rows.iter().filter(|r| r.non_responsive == non_resp).collect();
+        let class: Vec<&Fig11Row> = rows
+            .iter()
+            .filter(|r| r.non_responsive == non_resp)
+            .collect();
         let n = class.len().max(1) as f64;
         let mut out = [(0.0, 0.0); 3];
         for (a, slot) in out.iter_mut().enumerate() {
@@ -584,13 +604,24 @@ pub fn fig11(cfg: &ExpConfig) -> mimo_core::Result<Fig11Result> {
         println!(
             "{}",
             report::ascii_table(
-                &["app", "class", "MIMO ips%", "MIMO p%", "Heur ips%", "Heur p%", "Dec ips%", "Dec p%"],
+                &[
+                    "app",
+                    "class",
+                    "MIMO ips%",
+                    "MIMO p%",
+                    "Heur ips%",
+                    "Heur p%",
+                    "Dec ips%",
+                    "Dec p%"
+                ],
                 &table_rows
             )
         );
         let _ = report::write_csv(
             "fig11_tracking.csv",
-            &["app", "class", "mimo_ips", "mimo_p", "heur_ips", "heur_p", "dec_ips", "dec_p"],
+            &[
+                "app", "class", "mimo_ips", "mimo_p", "heur_ips", "heur_p", "dec_ips", "dec_p",
+            ],
             &table_rows,
         );
         println!(
@@ -599,8 +630,16 @@ pub fn fig11(cfg: &ExpConfig) -> mimo_core::Result<Fig11Result> {
                 "Figure 11(a) — responsive avg IPS error",
                 &[
                     Comparison::new("MIMO", "7%", &report::fmt(result.responsive_avg[0].0, 1)),
-                    Comparison::new("Heuristic", "13%", &report::fmt(result.responsive_avg[1].0, 1)),
-                    Comparison::new("Decoupled", "24%", &report::fmt(result.responsive_avg[2].0, 1)),
+                    Comparison::new(
+                        "Heuristic",
+                        "13%",
+                        &report::fmt(result.responsive_avg[1].0, 1)
+                    ),
+                    Comparison::new(
+                        "Decoupled",
+                        "24%",
+                        &report::fmt(result.responsive_avg[2].0, 1)
+                    ),
                 ]
             )
         );
@@ -651,8 +690,11 @@ pub fn fig12(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig12Run>> {
                     run_schedule(&mut gov, &mut plant, &schedule, cfg.schedule_epochs)
                 }
                 "Heuristic" => {
-                    let mut gov =
-                        HeuristicTracker::new(grids.clone(), ranking.clone(), first_targets.clone());
+                    let mut gov = HeuristicTracker::new(
+                        grids.clone(),
+                        ranking.clone(),
+                        first_targets.clone(),
+                    );
                     run_schedule(&mut gov, &mut plant, &schedule, cfg.schedule_epochs)
                 }
                 _ => {
@@ -698,6 +740,122 @@ pub fn fig12(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig12Run>> {
     Ok(runs)
 }
 
+// ---------------------------------------------------------------------------
+// Fleet scaling — many-core runtime under a chip power budget
+// ---------------------------------------------------------------------------
+
+/// One fleet-scaling data point: a fleet size × worker count combination.
+#[derive(Debug, Clone)]
+pub struct FleetScalePoint {
+    /// Fleet statistics for the run.
+    pub stats: mimo_fleet::FleetStats,
+    /// Digest of the deterministic fields (identical across worker counts
+    /// for the same fleet size and seed).
+    pub digest: u64,
+}
+
+/// Sweeps fleet sizes N ∈ {1, 4, 16, 64} at one and several worker
+/// threads, all cores running clones of a single synthesized two-input
+/// MIMO controller under a proportional chip-power arbiter.
+///
+/// Every (N, seed) pair must produce bit-identical deterministic stats at
+/// every worker count; the returned points preserve the sweep order
+/// (workers-inner) so callers can verify pairwise digests.
+///
+/// # Errors
+///
+/// Propagates controller-design failures; panics only on invalid fleet
+/// configuration, which the fixed sweep cannot produce.
+pub fn fleet_scale(cfg: &ExpConfig) -> mimo_core::Result<Vec<FleetScalePoint>> {
+    let design = setup::design_mimo(InputSet::FreqCache, cfg.seed)?;
+    let epochs = cfg.tracking_epochs.min(1000);
+    let multi = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let worker_counts = [1usize, multi];
+
+    let mut points = Vec::new();
+    for &n in &[1usize, 4, 16, 64] {
+        for &w in &worker_counts {
+            let fleet_cfg = mimo_fleet::FleetConfig::new(n)
+                .workers(w)
+                .epochs(epochs)
+                .seed(cfg.seed);
+            let runner =
+                mimo_fleet::FleetRunner::with_shared_controller(fleet_cfg, &design.controller)
+                    .expect("fleet config");
+            let stats = runner.run();
+            let digest = stats.digest();
+            points.push(FleetScalePoint { stats, digest });
+        }
+    }
+
+    if cfg.emit {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                let s = &p.stats;
+                vec![
+                    s.n_cores.to_string(),
+                    s.workers.to_string(),
+                    s.epochs.to_string(),
+                    s.policy.clone(),
+                    report::fmt(s.agg_ips_err_pct, 2),
+                    report::fmt(s.agg_power_err_pct, 2),
+                    report::fmt(s.avg_chip_power_w, 3),
+                    report::fmt(s.peak_chip_power_w, 3),
+                    report::fmt(s.cap_violation_pct, 2),
+                    report::fmt(s.epochs_per_sec, 0),
+                    format!("{:016x}", p.digest),
+                ]
+            })
+            .collect();
+        let path = report::write_csv(
+            "fleet_scale.csv",
+            &[
+                "n_cores",
+                "workers",
+                "epochs",
+                "policy",
+                "ips_err_pct",
+                "power_err_pct",
+                "avg_chip_w",
+                "peak_chip_w",
+                "cap_violation_pct",
+                "epochs_per_sec",
+                "digest",
+            ],
+            &rows,
+        );
+        if let Ok(p) = path {
+            println!("wrote {}", p.display());
+        }
+        let mut cmp = Vec::new();
+        for pair in points.chunks(worker_counts.len()) {
+            let a = &pair[0].stats;
+            let all_match = pair.iter().all(|p| p.digest == pair[0].digest);
+            cmp.push(Comparison::new(
+                &format!("N={} deterministic across workers", a.n_cores),
+                "bit-identical",
+                if all_match {
+                    "bit-identical"
+                } else {
+                    "MISMATCH"
+                },
+            ));
+            let best = pair
+                .iter()
+                .map(|p| p.stats.epochs_per_sec)
+                .fold(0.0f64, f64::max);
+            cmp.push(Comparison::new(
+                &format!("N={} throughput (best)", a.n_cores),
+                "scales with workers on multicore hosts",
+                &format!("{} epochs/s", report::fmt(best, 0)),
+            ));
+        }
+        println!("{}", report::comparison_table("Fleet scaling", &cmp));
+    }
+    Ok(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -713,10 +871,26 @@ mod tests {
     #[test]
     fn best_dimension_picks_elbow() {
         let pts = vec![
-            Fig07Point { dimension: 2, err_ips_pct: 30.0, err_power_pct: 20.0 },
-            Fig07Point { dimension: 4, err_ips_pct: 11.0, err_power_pct: 9.0 },
-            Fig07Point { dimension: 6, err_ips_pct: 11.0, err_power_pct: 9.0 },
-            Fig07Point { dimension: 8, err_ips_pct: 10.5, err_power_pct: 9.0 },
+            Fig07Point {
+                dimension: 2,
+                err_ips_pct: 30.0,
+                err_power_pct: 20.0,
+            },
+            Fig07Point {
+                dimension: 4,
+                err_ips_pct: 11.0,
+                err_power_pct: 9.0,
+            },
+            Fig07Point {
+                dimension: 6,
+                err_ips_pct: 11.0,
+                err_power_pct: 9.0,
+            },
+            Fig07Point {
+                dimension: 8,
+                err_ips_pct: 10.5,
+                err_power_pct: 9.0,
+            },
         ];
         assert_eq!(best_dimension(&pts), 4);
     }

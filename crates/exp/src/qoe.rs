@@ -59,10 +59,7 @@ impl BatterySchedule {
         while epoch < epochs {
             let frac_charge = (charge / self.supply_j).max(0.0);
             let f = self.target_fraction(frac_charge);
-            let targets = Vector::from_slice(&[
-                self.full_targets[0] * f,
-                self.full_targets[1] * f,
-            ]);
+            let targets = Vector::from_slice(&[self.full_targets[0] * f, self.full_targets[1] * f]);
             // Planned energy spent during this window at the power target.
             let window_s = self.update_epochs as f64 * 50e-6;
             charge -= targets[1] * window_s;

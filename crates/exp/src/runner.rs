@@ -106,12 +106,16 @@ fn summarize(
         }
     }
 
-    let quarter = (epochs / 4).max(1);
+    // Mean over the final quarter; an empty run has no final window (the
+    // unguarded `epochs - quarter` underflowed when epochs == 0).
+    let quarter = (epochs / 4).max(1).min(epochs);
     let mut final_outputs = Vector::zeros(o);
     for y in &y_hist[epochs - quarter..] {
         final_outputs += y;
     }
-    final_outputs = final_outputs.scale(1.0 / quarter as f64);
+    if quarter > 0 {
+        final_outputs = final_outputs.scale(1.0 / quarter as f64);
+    }
 
     TrackingStats {
         avg_err_pct,
@@ -306,6 +310,42 @@ mod tests {
     fn epochs_for_ms_converts() {
         assert_eq!(epochs_for_ms(10.0), 200);
         assert_eq!(epochs_for_ms(0.05), 1);
+    }
+
+    #[test]
+    fn tracking_zero_epochs_returns_zeroed_stats() {
+        // Regression: summarize() used to underflow on an empty history.
+        let mut gov = FixedGovernor::new(Vector::from_slice(&[1.3, 6.0]));
+        let mut plant = setup::plant("namd", InputSet::FreqCache, 1);
+        let targets = Vector::from_slice(&[2.5, 2.0]);
+        let stats = run_tracking(&mut gov, &mut plant, &targets, 0, true);
+        assert_eq!(stats.avg_err_pct, vec![0.0, 0.0]);
+        assert_eq!(stats.final_outputs, Vector::zeros(2));
+        assert_eq!(stats.steady_epoch, vec![None, None]);
+        assert_eq!(stats.trace, Some(vec![]));
+    }
+
+    #[test]
+    fn tracking_single_epoch_is_finite() {
+        let mut gov = FixedGovernor::new(Vector::from_slice(&[1.3, 6.0]));
+        let mut plant = setup::plant("astar", InputSet::FreqCache, 2);
+        let targets = Vector::from_slice(&[2.5, 2.0]);
+        let stats = run_tracking(&mut gov, &mut plant, &targets, 1, false);
+        assert!(stats.avg_err_pct.iter().all(|e| e.is_finite()));
+        // The single observed epoch is the "final quarter".
+        assert!(stats.final_outputs[0] > 0.0);
+        assert!(stats.final_outputs[1] > 0.0);
+    }
+
+    #[test]
+    fn tracking_shorter_than_warmup_still_averages() {
+        // Fewer epochs than WARMUP_EPOCHS: the warm-up window shrinks to a
+        // quarter of the run instead of swallowing it whole.
+        let mut gov = FixedGovernor::new(Vector::from_slice(&[1.3, 6.0]));
+        let mut plant = setup::plant("namd", InputSet::FreqCache, 3);
+        let targets = Vector::from_slice(&[2.5, 2.0]);
+        let stats = run_tracking(&mut gov, &mut plant, &targets, 40, false);
+        assert!(stats.avg_err_pct.iter().all(|e| e.is_finite() && *e > 0.0));
     }
 
     #[test]

@@ -71,7 +71,9 @@ pub fn design_mimo_with(
     if let Some(w) = weights {
         flow = flow.with_weights(w);
     }
-    flow.seed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(flow.seed);
+    flow.seed = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(flow.seed);
     let mut training = training_plants(input_set, seed);
     let result = flow.run_multi(training.iter_mut())?;
     let mut validation = validation_plants(input_set, seed);

@@ -1,0 +1,258 @@
+//! Chip-level power-budget arbitration.
+//!
+//! The paper's controller governs one core; §VII sketches the decentralized
+//! extension — per-core MIMO controllers coordinated by a chip-level
+//! authority (the shape ControlPULP realizes in PMU firmware). The
+//! [`BudgetArbiter`] is that authority: each epoch it aggregates the cores'
+//! measured power, compares the total against the chip cap, and hands every
+//! core a fresh `[IPS, power]` reference that its local LQG loop then
+//! tracks. Arbitration operates purely on targets — the per-core
+//! controllers remain untouched, which is what makes the scheme
+//! decentralized.
+
+use mimo_linalg::Vector;
+use serde::Serialize;
+
+/// How the chip cap is split across cores each epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbitrationPolicy {
+    /// Every core gets `cap / n` regardless of demand.
+    Uniform,
+    /// Budgets proportional to each core's measured power draw — cores
+    /// that demonstrably use power keep it, idle cores donate headroom.
+    Proportional,
+    /// Budgets proportional to static per-core priority weights.
+    PriorityWeighted,
+}
+
+impl ArbitrationPolicy {
+    /// Stable label used in CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArbitrationPolicy::Uniform => "uniform",
+            ArbitrationPolicy::Proportional => "proportional",
+            ArbitrationPolicy::PriorityWeighted => "priority",
+        }
+    }
+}
+
+/// One core's observation consumed by the arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CoreObs {
+    /// Measured performance, BIPS.
+    pub ips: f64,
+    /// Measured power, watts.
+    pub power: f64,
+}
+
+/// The chip-level budget arbiter.
+#[derive(Debug, Clone)]
+pub struct BudgetArbiter {
+    cap_w: f64,
+    policy: ArbitrationPolicy,
+    base_targets: [f64; 2],
+    priorities: Vec<f64>,
+    /// Epochs in which measured chip power exceeded the cap.
+    violations: u64,
+    epochs: u64,
+    power_sum: f64,
+    peak_power: f64,
+}
+
+/// Floor on the per-core power target as a fraction of the nominal target;
+/// keeps throttled cores controllable (a zero-power reference would ask
+/// the LQG loop for an unreachable point and wind up its integrator).
+const MIN_TARGET_FRACTION: f64 = 0.2;
+
+impl BudgetArbiter {
+    /// Creates an arbiter for `priorities.len()` cores under `cap_w`.
+    pub fn new(
+        cap_w: f64,
+        policy: ArbitrationPolicy,
+        base_targets: [f64; 2],
+        priorities: Vec<f64>,
+    ) -> Self {
+        assert!(!priorities.is_empty(), "arbiter needs at least one core");
+        assert!(cap_w > 0.0, "cap must be positive");
+        BudgetArbiter {
+            cap_w,
+            policy,
+            base_targets,
+            priorities,
+            violations: 0,
+            epochs: 0,
+            power_sum: 0.0,
+            peak_power: 0.0,
+        }
+    }
+
+    /// Number of cores arbitrated.
+    pub fn n_cores(&self) -> usize {
+        self.priorities.len()
+    }
+
+    /// The chip cap in watts.
+    pub fn cap_w(&self) -> f64 {
+        self.cap_w
+    }
+
+    /// Epochs observed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Epochs in which the measured chip power exceeded the cap.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Mean measured chip power over all observed epochs.
+    pub fn avg_chip_power_w(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.power_sum / self.epochs as f64
+        }
+    }
+
+    /// Highest measured chip power in any epoch.
+    pub fn peak_chip_power_w(&self) -> f64 {
+        self.peak_power
+    }
+
+    /// Consumes this epoch's per-core observations (indexed by core) and
+    /// returns each core's next `[IPS, power]` targets.
+    ///
+    /// Deterministic: inputs are indexed by core and every reduction runs
+    /// in core order, so the result is identical no matter how many worker
+    /// threads produced the observations.
+    pub fn arbitrate(&mut self, observed: &[CoreObs]) -> Vec<Vector> {
+        assert_eq!(observed.len(), self.n_cores(), "observation count");
+        let total: f64 = observed.iter().map(|o| o.power).sum();
+        self.epochs += 1;
+        self.power_sum += total;
+        if total > self.peak_power {
+            self.peak_power = total;
+        }
+        if total > self.cap_w {
+            self.violations += 1;
+        }
+
+        let n = self.n_cores() as f64;
+        let [base_ips, base_power] = self.base_targets;
+        let weight_sum: f64 = self.priorities.iter().sum();
+        observed
+            .iter()
+            .enumerate()
+            .map(|(i, obs)| {
+                let budget = match self.policy {
+                    ArbitrationPolicy::Uniform => self.cap_w / n,
+                    ArbitrationPolicy::Proportional => {
+                        if total > 0.0 {
+                            self.cap_w * obs.power / total
+                        } else {
+                            self.cap_w / n
+                        }
+                    }
+                    ArbitrationPolicy::PriorityWeighted => {
+                        self.cap_w * self.priorities[i] / weight_sum
+                    }
+                };
+                // A core never asks for more than its nominal target; under
+                // pressure it is throttled toward (but not below) the floor.
+                let p_target = budget.clamp(MIN_TARGET_FRACTION * base_power, base_power);
+                // Performance references scale with the granted power share
+                // so the local loop chases a consistent (IPS, P) pair.
+                let ips_target = base_ips * (p_target / base_power);
+                Vector::from_slice(&[ips_target, p_target])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(powers: &[f64]) -> Vec<CoreObs> {
+        powers
+            .iter()
+            .map(|&p| CoreObs { ips: 2.0, power: p })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let mut arb = BudgetArbiter::new(4.0, ArbitrationPolicy::Uniform, [3.0, 1.9], vec![1.0; 4]);
+        let t = arb.arbitrate(&obs(&[2.0, 0.5, 0.5, 0.5]));
+        for target in &t {
+            assert!((target[1] - 1.0).abs() < 1e-12, "{target:?}");
+        }
+    }
+
+    #[test]
+    fn proportional_follows_demand() {
+        let mut arb = BudgetArbiter::new(
+            2.0,
+            ArbitrationPolicy::Proportional,
+            [3.0, 1.9],
+            vec![1.0; 2],
+        );
+        let t = arb.arbitrate(&obs(&[1.5, 0.5]));
+        // 3:1 demand ratio → 1.5 W vs 0.5 W budgets.
+        assert!((t[0][1] - 1.5).abs() < 1e-12, "{:?}", t[0]);
+        assert!((t[1][1] - 0.5).abs() < 1e-12, "{:?}", t[1]);
+        // IPS targets scale with the granted power share.
+        assert!(t[0][0] > t[1][0]);
+    }
+
+    #[test]
+    fn priority_weights_split_budget() {
+        let mut arb = BudgetArbiter::new(
+            3.0,
+            ArbitrationPolicy::PriorityWeighted,
+            [3.0, 1.9],
+            vec![2.0, 1.0],
+        );
+        let t = arb.arbitrate(&obs(&[1.0, 1.0]));
+        assert!((t[0][1] - 1.9).abs() < 1e-12, "capped at base: {:?}", t[0]);
+        assert!((t[1][1] - 1.0).abs() < 1e-12, "{:?}", t[1]);
+    }
+
+    #[test]
+    fn targets_never_exceed_base_or_fall_below_floor() {
+        let mut arb =
+            BudgetArbiter::new(100.0, ArbitrationPolicy::Uniform, [3.0, 1.9], vec![1.0; 2]);
+        // Huge cap: clamp at base targets.
+        let t = arb.arbitrate(&obs(&[1.0, 1.0]));
+        assert_eq!(t[0].as_slice(), &[3.0, 1.9]);
+        // Tiny cap: floor at 20% of base.
+        let mut tight =
+            BudgetArbiter::new(0.01, ArbitrationPolicy::Uniform, [3.0, 1.9], vec![1.0; 2]);
+        let t = tight.arbitrate(&obs(&[1.0, 1.0]));
+        assert!((t[0][1] - 0.2 * 1.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violations_and_aggregates_track() {
+        let mut arb = BudgetArbiter::new(2.0, ArbitrationPolicy::Uniform, [3.0, 1.9], vec![1.0; 2]);
+        arb.arbitrate(&obs(&[0.5, 0.5])); // 1.0 W, under
+        arb.arbitrate(&obs(&[1.5, 1.5])); // 3.0 W, over
+        assert_eq!(arb.epochs(), 2);
+        assert_eq!(arb.violations(), 1);
+        assert!((arb.avg_chip_power_w() - 2.0).abs() < 1e-12);
+        assert!((arb.peak_chip_power_w() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_power_proportional_degrades_to_uniform() {
+        let mut arb = BudgetArbiter::new(
+            1.0,
+            ArbitrationPolicy::Proportional,
+            [3.0, 1.9],
+            vec![1.0; 2],
+        );
+        let t = arb.arbitrate(&obs(&[0.0, 0.0]));
+        assert!((t[0][1] - t[1][1]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,246 @@
+//! Fleet configuration: how many cores, which applications, what budget.
+
+use mimo_sim::workload::{catalog_names, is_non_responsive, is_training};
+use mimo_sim::InputSet;
+
+use crate::arbiter::ArbitrationPolicy;
+use crate::error::{FleetError, Result};
+
+/// One core's identity within the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreSpec {
+    /// Catalog application this core runs.
+    pub app: String,
+    /// Seed for the core's plant (all stochastic behavior).
+    pub seed: u64,
+    /// Arbitration weight under
+    /// [`ArbitrationPolicy::PriorityWeighted`]; higher keeps more of the
+    /// chip budget.
+    pub priority: f64,
+}
+
+/// Configuration of a [`crate::FleetRunner`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of cores (plants) in the fleet.
+    pub n_cores: usize,
+    /// Worker threads stepping the cores. `0` means one per available
+    /// hardware thread, capped at `n_cores`.
+    pub workers: usize,
+    /// Epochs to run (50 µs each).
+    pub epochs: usize,
+    /// Input set every per-core controller actuates.
+    pub input_set: InputSet,
+    /// Chip-level power cap in watts, shared by all cores.
+    pub chip_power_cap_w: f64,
+    /// How the arbiter splits the cap across cores.
+    pub policy: ArbitrationPolicy,
+    /// Nominal per-core `[IPS (BIPS), power (W)]` targets before
+    /// arbitration scales them to the budget.
+    pub base_targets: [f64; 2],
+    /// Base seed; per-core seeds derive from it deterministically so
+    /// results never depend on the worker count.
+    pub seed: u64,
+    /// Explicit per-core assignments. When shorter than `n_cores` (or
+    /// empty), remaining cores draw responsive production apps round-robin.
+    pub cores: Vec<CoreSpec>,
+}
+
+impl FleetConfig {
+    /// A fleet of `n_cores` with the defaults used by the `fleet_scale`
+    /// experiment: two-input plants, a chip cap sized at 1.2 W/core, the
+    /// proportional policy, and the paper's aggressive tracking targets.
+    pub fn new(n_cores: usize) -> Self {
+        FleetConfig {
+            n_cores,
+            workers: 1,
+            epochs: 1000,
+            input_set: InputSet::FreqCache,
+            chip_power_cap_w: 1.2 * n_cores as f64,
+            policy: ArbitrationPolicy::Proportional,
+            base_targets: [3.0, 1.9],
+            seed: 1,
+            cores: Vec::new(),
+        }
+    }
+
+    /// Sets the worker count (builder style).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the epoch count (builder style).
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the arbitration policy (builder style).
+    pub fn policy(mut self, policy: ArbitrationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the chip power cap (builder style).
+    pub fn chip_power_cap(mut self, watts: f64) -> Self {
+        self.chip_power_cap_w = watts;
+        self
+    }
+
+    /// Sets the base seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for a zero-sized fleet, a
+    /// non-positive power cap, or non-positive targets/priorities.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_cores == 0 {
+            return Err(FleetError::InvalidConfig {
+                what: "n_cores must be at least 1".into(),
+            });
+        }
+        // `<= 0.0 || is_nan` rather than `!(x > 0.0)`: NaN must be rejected
+        // too, and clippy flags negated partial-order comparisons.
+        let not_positive = |x: f64| x <= 0.0 || x.is_nan();
+        if not_positive(self.chip_power_cap_w) {
+            return Err(FleetError::InvalidConfig {
+                what: format!(
+                    "chip_power_cap_w = {} must be positive",
+                    self.chip_power_cap_w
+                ),
+            });
+        }
+        if self.base_targets.iter().any(|&t| not_positive(t)) {
+            return Err(FleetError::InvalidConfig {
+                what: format!("base_targets {:?} must be positive", self.base_targets),
+            });
+        }
+        if self.cores.iter().any(|c| not_positive(c.priority)) {
+            return Err(FleetError::InvalidConfig {
+                what: "core priorities must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The effective worker count: explicit, or one per hardware thread,
+    /// never more than there are cores.
+    pub fn effective_workers(&self) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        };
+        requested.clamp(1, self.n_cores.max(1))
+    }
+
+    /// Resolves the full per-core spec list: explicit entries first, then
+    /// responsive production applications round-robin (the cores that can
+    /// actually chase the aggressive IPS target), each with a seed derived
+    /// from the base seed and the core index only.
+    pub fn core_specs(&self) -> Vec<CoreSpec> {
+        let default_apps = default_fleet_apps();
+        (0..self.n_cores)
+            .map(|i| {
+                self.cores.get(i).cloned().unwrap_or_else(|| CoreSpec {
+                    app: default_apps[i % default_apps.len()].to_string(),
+                    // Same derivation regardless of worker count or
+                    // scheduling: core identity fixes the random stream.
+                    seed: self
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64),
+                    priority: 1.0,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Applications a default fleet cycles through: the responsive production
+/// set (non-training, can reach the tracking target), in catalog order.
+pub fn default_fleet_apps() -> Vec<&'static str> {
+    catalog_names()
+        .into_iter()
+        .filter(|n| !is_training(n) && !is_non_responsive(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        for n in [1, 4, 16, 64] {
+            FleetConfig::new(n).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        assert!(matches!(
+            FleetConfig::new(0).validate(),
+            Err(FleetError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_cap_rejected() {
+        let cfg = FleetConfig::new(4).chip_power_cap(-1.0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn specs_are_per_core_deterministic_and_distinct() {
+        let cfg = FleetConfig::new(16);
+        let a = cfg.core_specs();
+        let b = cfg.core_specs();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        // Seeds all distinct.
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert_ne!(a[i].seed, a[j].seed, "cores {i} and {j}");
+            }
+        }
+        // Different base seed shifts every core seed.
+        let c = cfg.clone().seed(99).core_specs();
+        assert!(a.iter().zip(&c).all(|(x, y)| x.seed != y.seed));
+    }
+
+    #[test]
+    fn explicit_cores_take_precedence() {
+        let mut cfg = FleetConfig::new(3);
+        cfg.cores = vec![CoreSpec {
+            app: "mcf".into(),
+            seed: 7,
+            priority: 2.0,
+        }];
+        let specs = cfg.core_specs();
+        assert_eq!(specs[0].app, "mcf");
+        assert_eq!(specs[0].seed, 7);
+        assert_eq!(specs.len(), 3);
+    }
+
+    #[test]
+    fn effective_workers_clamped_to_cores() {
+        assert_eq!(FleetConfig::new(4).workers(16).effective_workers(), 4);
+        assert_eq!(FleetConfig::new(4).workers(2).effective_workers(), 2);
+        assert!(FleetConfig::new(64).workers(0).effective_workers() >= 1);
+    }
+
+    #[test]
+    fn default_apps_are_responsive_production() {
+        let apps = default_fleet_apps();
+        assert_eq!(apps.len(), 10);
+        assert!(apps.iter().all(|a| !is_non_responsive(a)));
+    }
+}

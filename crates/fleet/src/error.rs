@@ -1,0 +1,42 @@
+//! Fleet-level error type.
+
+use mimo_sim::SimError;
+
+/// Errors raised while building or running a fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// A [`crate::FleetConfig`] field is out of range or inconsistent.
+    InvalidConfig {
+        /// What is wrong.
+        what: String,
+    },
+    /// Building one of the per-core plants failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::InvalidConfig { what } => write!(f, "invalid fleet config: {what}"),
+            FleetError::Sim(e) => write!(f, "plant construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Sim(e) => Some(e),
+            FleetError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for FleetError {
+    fn from(e: SimError) -> Self {
+        FleetError::Sim(e)
+    }
+}
+
+/// Convenient result alias for fleet operations.
+pub type Result<T> = std::result::Result<T, FleetError>;

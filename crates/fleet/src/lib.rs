@@ -1,0 +1,47 @@
+//! Many-core fleet runtime: per-core MIMO control under a chip power budget.
+//!
+//! The paper designs one MIMO LQG controller per core. This crate scales
+//! that to a fleet: N independent plants, each tracking `[IPS, power]`
+//! references with its own governor, stepped in lock-step 50 µs epochs
+//! across a worker-thread pool, with a chip-level [`BudgetArbiter`] that
+//! redistributes each core's references every epoch so the summed power
+//! respects a chip cap — the decentralized coordination sketched in the
+//! paper's §VII discussion of multicore deployment.
+//!
+//! Determinism is a design invariant: per-core seeds derive only from the
+//! base seed and the core index, and arbitration reduces core-indexed
+//! observations in core order, so a run's [`FleetStats`] are bit-identical
+//! no matter how many worker threads step the fleet.
+//!
+//! # Example
+//!
+//! ```
+//! use mimo_fleet::{ArbitrationPolicy, FleetConfig, FleetRunner};
+//! use mimo_core::governor::FixedGovernor;
+//! use mimo_linalg::Vector;
+//!
+//! let cfg = FleetConfig::new(4)
+//!     .workers(2)
+//!     .epochs(100)
+//!     .policy(ArbitrationPolicy::Proportional);
+//! let fleet = FleetRunner::new(cfg, |_, _| {
+//!     Box::new(FixedGovernor::new(Vector::from_slice(&[1.3, 6.0])))
+//! })
+//! .unwrap();
+//! let stats = fleet.run();
+//! assert_eq!(stats.n_cores, 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod config;
+pub mod error;
+pub mod runner;
+pub mod stats;
+
+pub use arbiter::{ArbitrationPolicy, BudgetArbiter, CoreObs};
+pub use config::{default_fleet_apps, CoreSpec, FleetConfig};
+pub use error::{FleetError, Result};
+pub use runner::FleetRunner;
+pub use stats::{CoreStats, FleetStats};

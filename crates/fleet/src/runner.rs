@@ -1,0 +1,353 @@
+//! The fleet runtime: lock-step epoch scheduling across worker threads.
+//!
+//! Every core owns a plant and a governor. Each 50 µs epoch proceeds in
+//! three beats:
+//!
+//! 1. **Step** — workers advance their cores: the governor consumes the
+//!    previous epoch's measurement and emits an actuation, the plant
+//!    applies it, and the measured `[IPS, power]` lands in a shared,
+//!    core-indexed observation table.
+//! 2. **Arbitrate** — after a barrier, one worker (the barrier leader)
+//!    runs the [`BudgetArbiter`] over the full table, producing next
+//!    epoch's per-core `[IPS, power]` references.
+//! 3. **Retarget** — after a second barrier, every worker installs its
+//!    cores' new references into their governors.
+//!
+//! Determinism: core seeds derive from the base seed and core index only,
+//! the observation table is indexed by core, and the arbiter reduces in
+//! core order — so results are bit-identical no matter how many workers
+//! stepped the cores. The single-worker case runs the same code path with
+//! a one-party barrier.
+
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+use mimo_core::governor::{Governor, MimoGovernor};
+use mimo_core::lqg::LqgController;
+use mimo_linalg::Vector;
+use mimo_sim::{Plant, Processor, ProcessorBuilder};
+
+use crate::arbiter::{BudgetArbiter, CoreObs};
+use crate::config::{CoreSpec, FleetConfig};
+use crate::error::{FleetError, Result};
+use crate::stats::{CoreStats, FleetStats};
+
+/// Epochs excluded from tracking-error accumulation while the per-core
+/// loops converge onto their references.
+fn warmup_epochs(total: usize) -> usize {
+    (total / 5).min(200)
+}
+
+/// One core: plant + governor + accumulated error statistics.
+struct CoreCell {
+    idx: usize,
+    spec: CoreSpec,
+    gov: Box<dyn Governor + Send>,
+    plant: Processor,
+    /// Last measured outputs fed to the governor next epoch.
+    y: Vector,
+    /// Reference active during the current epoch (set by arbitration at
+    /// the end of the previous one).
+    target: Vector,
+    epoch: usize,
+    warmup: usize,
+    ips_err_sum: f64,
+    power_err_sum: f64,
+    err_samples: u64,
+}
+
+impl CoreCell {
+    /// Runs one epoch and returns the measurement for the arbiter.
+    fn step(&mut self) -> CoreObs {
+        let phase = self.plant.phase_changed();
+        let u = self.gov.decide(&self.y, phase);
+        self.y = self.plant.apply(&u);
+        let obs = CoreObs {
+            ips: self.y[0],
+            power: self.y[1],
+        };
+        if self.epoch >= self.warmup {
+            self.ips_err_sum += ((obs.ips - self.target[0]) / self.target[0]).abs();
+            self.power_err_sum += ((obs.power - self.target[1]) / self.target[1]).abs();
+            self.err_samples += 1;
+        }
+        self.epoch += 1;
+        obs
+    }
+
+    /// Installs the arbitrated reference for the next epoch.
+    fn retarget(&mut self, t: Vector) {
+        self.gov.set_targets(&t);
+        self.target = t;
+    }
+
+    fn into_stats(self) -> CoreStats {
+        let totals = self.plant.totals();
+        let n = self.err_samples.max(1) as f64;
+        CoreStats {
+            core: self.idx,
+            app: self.spec.app,
+            seed: self.spec.seed,
+            avg_ips_err_pct: 100.0 * self.ips_err_sum / n,
+            avg_power_err_pct: 100.0 * self.power_err_sum / n,
+            avg_power_w: totals.avg_power(),
+            energy_j: totals.energy_j,
+            instructions_g: totals.instructions_g,
+        }
+    }
+}
+
+/// State exchanged between workers once per epoch.
+struct Shared {
+    obs: Vec<CoreObs>,
+    targets: Vec<Vector>,
+    arbiter: BudgetArbiter,
+}
+
+/// Runs a fleet of independently governed cores under one chip budget.
+pub struct FleetRunner {
+    cfg: FleetConfig,
+    cells: Vec<CoreCell>,
+}
+
+impl FleetRunner {
+    /// Builds the fleet, creating each core's governor through `factory`
+    /// (called with the core index and resolved spec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for a bad configuration or a
+    /// governor whose input count does not match the plant, and
+    /// [`FleetError::Sim`] if a plant fails to build.
+    pub fn new<F>(cfg: FleetConfig, mut factory: F) -> Result<Self>
+    where
+        F: FnMut(usize, &CoreSpec) -> Box<dyn Governor + Send>,
+    {
+        cfg.validate()?;
+        let warmup = warmup_epochs(cfg.epochs);
+        let base = Vector::from_slice(&cfg.base_targets);
+        let mut cells = Vec::with_capacity(cfg.n_cores);
+        for (idx, spec) in cfg.core_specs().into_iter().enumerate() {
+            let plant = ProcessorBuilder::new()
+                .app(&spec.app)
+                .seed(spec.seed)
+                .input_set(cfg.input_set)
+                .build()?;
+            let mut gov = factory(idx, &spec);
+            if gov.num_inputs() != plant.num_inputs() {
+                return Err(FleetError::InvalidConfig {
+                    what: format!(
+                        "core {idx}: governor actuates {} inputs, plant has {}",
+                        gov.num_inputs(),
+                        plant.num_inputs()
+                    ),
+                });
+            }
+            gov.set_targets(&base);
+            cells.push(CoreCell {
+                idx,
+                spec,
+                gov,
+                plant,
+                y: Vector::zeros(2),
+                target: base.clone(),
+                epoch: 0,
+                warmup,
+                ips_err_sum: 0.0,
+                power_err_sum: 0.0,
+                err_samples: 0,
+            });
+        }
+        Ok(FleetRunner { cfg, cells })
+    }
+
+    /// Builds the fleet with every core running a clone of one synthesized
+    /// MIMO controller — the paper's deployment model, where a single
+    /// offline design is replicated across homogeneous cores.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FleetRunner::new`].
+    pub fn with_shared_controller(cfg: FleetConfig, ctrl: &LqgController) -> Result<Self> {
+        FleetRunner::new(cfg, |_, _| Box::new(MimoGovernor::new(ctrl.clone())))
+    }
+
+    /// Number of cores in the fleet.
+    pub fn n_cores(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Runs the configured number of epochs and returns fleet statistics.
+    pub fn run(mut self) -> FleetStats {
+        let epochs = self.cfg.epochs;
+        let n = self.cells.len();
+        let workers = self.cfg.effective_workers();
+        let chunk = n.div_ceil(workers);
+        let base = Vector::from_slice(&self.cfg.base_targets);
+        let priorities: Vec<f64> = self.cells.iter().map(|c| c.spec.priority).collect();
+        let shared = Mutex::new(Shared {
+            obs: vec![
+                CoreObs {
+                    ips: 0.0,
+                    power: 0.0
+                };
+                n
+            ],
+            targets: vec![base.clone(); n],
+            arbiter: BudgetArbiter::new(
+                self.cfg.chip_power_cap_w,
+                self.cfg.policy,
+                self.cfg.base_targets,
+                priorities,
+            ),
+        });
+        // chunks_mut may produce fewer chunks than requested workers when
+        // n is small; the barrier must match the actual party count.
+        let parties = if n == 0 { 1 } else { n.div_ceil(chunk) };
+        let barrier = Barrier::new(parties);
+
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for band in self.cells.chunks_mut(chunk) {
+                let shared = &shared;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut local: Vec<CoreObs> = Vec::with_capacity(band.len());
+                    for _ in 0..epochs {
+                        // Beat 1: step this worker's cores.
+                        local.clear();
+                        local.extend(band.iter_mut().map(CoreCell::step));
+                        {
+                            let mut s = shared.lock().unwrap();
+                            for (cell, &o) in band.iter().zip(&local) {
+                                s.obs[cell.idx] = o;
+                            }
+                        }
+                        // Beat 2: leader arbitrates over the full table.
+                        if barrier.wait().is_leader() {
+                            let mut s = shared.lock().unwrap();
+                            let obs = std::mem::take(&mut s.obs);
+                            s.targets = s.arbiter.arbitrate(&obs);
+                            s.obs = obs;
+                        }
+                        // Beat 3: everyone installs the new references.
+                        barrier.wait();
+                        {
+                            let s = shared.lock().unwrap();
+                            for cell in band.iter_mut() {
+                                cell.retarget(s.targets[cell.idx].clone());
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let wall_s = started.elapsed().as_secs_f64();
+
+        let arbiter = shared.into_inner().unwrap().arbiter;
+        let per_core: Vec<CoreStats> = self.cells.into_iter().map(CoreCell::into_stats).collect();
+        let nf = per_core.len().max(1) as f64;
+        FleetStats {
+            n_cores: n,
+            workers: parties,
+            epochs,
+            policy: self.cfg.policy.label().to_string(),
+            chip_cap_w: self.cfg.chip_power_cap_w,
+            cap_violation_epochs: arbiter.violations(),
+            cap_violation_pct: if epochs == 0 {
+                0.0
+            } else {
+                100.0 * arbiter.violations() as f64 / epochs as f64
+            },
+            avg_chip_power_w: arbiter.avg_chip_power_w(),
+            peak_chip_power_w: arbiter.peak_chip_power_w(),
+            agg_ips_err_pct: per_core.iter().map(|c| c.avg_ips_err_pct).sum::<f64>() / nf,
+            agg_power_err_pct: per_core.iter().map(|c| c.avg_power_err_pct).sum::<f64>() / nf,
+            energy_j: per_core.iter().map(|c| c.energy_j).sum(),
+            instructions_g: per_core.iter().map(|c| c.instructions_g).sum(),
+            wall_s,
+            epochs_per_sec: if wall_s > 0.0 {
+                epochs as f64 / wall_s
+            } else {
+                0.0
+            },
+            per_core,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::ArbitrationPolicy;
+    use mimo_core::governor::FixedGovernor;
+
+    fn fixed_factory() -> impl FnMut(usize, &CoreSpec) -> Box<dyn Governor + Send> {
+        |_, _| Box::new(FixedGovernor::new(Vector::from_slice(&[1.3, 6.0])))
+    }
+
+    fn small(workers: usize) -> FleetConfig {
+        FleetConfig::new(4)
+            .workers(workers)
+            .epochs(80)
+            .policy(ArbitrationPolicy::Proportional)
+            .seed(7)
+    }
+
+    #[test]
+    fn identical_stats_regardless_of_worker_count() {
+        let one = FleetRunner::new(small(1), fixed_factory()).unwrap().run();
+        let two = FleetRunner::new(small(2), fixed_factory()).unwrap().run();
+        let four = FleetRunner::new(small(4), fixed_factory()).unwrap().run();
+        assert_eq!(one, two);
+        assert_eq!(one, four);
+        assert_eq!(one.digest(), two.digest());
+        assert_eq!(one.digest(), four.digest());
+    }
+
+    #[test]
+    fn stats_cover_all_cores_and_accumulate_energy() {
+        let stats = FleetRunner::new(small(2), fixed_factory()).unwrap().run();
+        assert_eq!(stats.n_cores, 4);
+        assert_eq!(stats.per_core.len(), 4);
+        assert_eq!(stats.epochs, 80);
+        assert!(stats.energy_j > 0.0);
+        assert!(stats.instructions_g > 0.0);
+        assert!(stats.avg_chip_power_w > 0.0);
+        assert!(stats.peak_chip_power_w >= stats.avg_chip_power_w);
+        for (i, c) in stats.per_core.iter().enumerate() {
+            assert_eq!(c.core, i);
+            assert!(c.avg_power_w > 0.0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_results() {
+        let a = FleetRunner::new(small(1), fixed_factory()).unwrap().run();
+        let b = FleetRunner::new(small(1).seed(8), fixed_factory())
+            .unwrap()
+            .run();
+        assert_ne!(a, b);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn governor_plant_input_mismatch_rejected() {
+        let cfg = small(1); // FreqCache → 2 inputs
+        let err = FleetRunner::new(cfg, |_, _| {
+            Box::new(FixedGovernor::new(Vector::from_slice(&[1.3, 6.0, 48.0])))
+        });
+        assert!(matches!(err, Err(FleetError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn zero_epochs_returns_zeroed_stats() {
+        let stats = FleetRunner::new(small(1).epochs(0), fixed_factory())
+            .unwrap()
+            .run();
+        assert_eq!(stats.epochs, 0);
+        assert_eq!(stats.cap_violation_epochs, 0);
+        assert_eq!(stats.energy_j, 0.0);
+        assert_eq!(stats.agg_ips_err_pct, 0.0);
+    }
+}

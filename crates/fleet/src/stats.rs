@@ -1,0 +1,180 @@
+//! Per-core and fleet-aggregate run statistics.
+
+use serde::Serialize;
+
+/// One core's accumulated statistics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CoreStats {
+    /// Core index within the fleet.
+    pub core: usize,
+    /// Application the core ran.
+    pub app: String,
+    /// Plant seed.
+    pub seed: u64,
+    /// Mean |IPS − target| / target over the run, percent, against the
+    /// arbitrated (per-epoch) reference.
+    pub avg_ips_err_pct: f64,
+    /// Mean |power − target| / target over the run, percent.
+    pub avg_power_err_pct: f64,
+    /// Mean measured power, watts.
+    pub avg_power_w: f64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Instructions executed, billions.
+    pub instructions_g: f64,
+}
+
+/// Whole-fleet statistics for one run.
+///
+/// Everything except the two wall-clock fields (`wall_s`,
+/// `epochs_per_sec`) is a pure function of the configuration and seeds,
+/// and therefore bit-identical across worker counts; `PartialEq` compares
+/// only the deterministic fields so runs can be checked for reproducibility
+/// directly.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetStats {
+    /// Cores in the fleet.
+    pub n_cores: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Epochs run.
+    pub epochs: usize,
+    /// Arbitration policy label.
+    pub policy: String,
+    /// Chip power cap, watts.
+    pub chip_cap_w: f64,
+    /// Epochs in which measured chip power exceeded the cap.
+    pub cap_violation_epochs: u64,
+    /// Same as a percentage of all epochs.
+    pub cap_violation_pct: f64,
+    /// Mean measured chip power, watts.
+    pub avg_chip_power_w: f64,
+    /// Peak measured chip power in any epoch, watts.
+    pub peak_chip_power_w: f64,
+    /// Mean of the per-core IPS tracking errors, percent.
+    pub agg_ips_err_pct: f64,
+    /// Mean of the per-core power tracking errors, percent.
+    pub agg_power_err_pct: f64,
+    /// Total fleet energy, joules.
+    pub energy_j: f64,
+    /// Total instructions, billions.
+    pub instructions_g: f64,
+    /// Wall-clock duration of the epoch loop, seconds (not deterministic).
+    pub wall_s: f64,
+    /// Fleet epochs per second of wall clock (not deterministic).
+    pub epochs_per_sec: f64,
+    /// Per-core breakdown.
+    pub per_core: Vec<CoreStats>,
+}
+
+impl PartialEq for FleetStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything but wall_s / epochs_per_sec — and workers, which is
+        // *allowed* to differ between runs that must agree.
+        self.n_cores == other.n_cores
+            && self.epochs == other.epochs
+            && self.policy == other.policy
+            && self.chip_cap_w == other.chip_cap_w
+            && self.cap_violation_epochs == other.cap_violation_epochs
+            && self.avg_chip_power_w == other.avg_chip_power_w
+            && self.peak_chip_power_w == other.peak_chip_power_w
+            && self.agg_ips_err_pct == other.agg_ips_err_pct
+            && self.agg_power_err_pct == other.agg_power_err_pct
+            && self.energy_j == other.energy_j
+            && self.instructions_g == other.instructions_g
+            && self.per_core == other.per_core
+    }
+}
+
+impl FleetStats {
+    /// Order-independent digest of the deterministic fields (exact f64 bit
+    /// patterns), for compact reproducibility checks in CSV output.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(self.n_cores as u64);
+        mix(self.epochs as u64);
+        mix(self.cap_violation_epochs);
+        mix(self.avg_chip_power_w.to_bits());
+        mix(self.peak_chip_power_w.to_bits());
+        mix(self.energy_j.to_bits());
+        mix(self.instructions_g.to_bits());
+        for c in &self.per_core {
+            mix(c.avg_ips_err_pct.to_bits());
+            mix(c.avg_power_err_pct.to_bits());
+            mix(c.energy_j.to_bits());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetStats {
+        FleetStats {
+            n_cores: 2,
+            workers: 1,
+            epochs: 10,
+            policy: "uniform".into(),
+            chip_cap_w: 2.4,
+            cap_violation_epochs: 1,
+            cap_violation_pct: 10.0,
+            avg_chip_power_w: 2.0,
+            peak_chip_power_w: 2.5,
+            agg_ips_err_pct: 8.0,
+            agg_power_err_pct: 4.0,
+            energy_j: 0.001,
+            instructions_g: 0.02,
+            wall_s: 0.5,
+            epochs_per_sec: 20.0,
+            per_core: vec![CoreStats {
+                core: 0,
+                app: "astar".into(),
+                seed: 3,
+                avg_ips_err_pct: 8.0,
+                avg_power_err_pct: 4.0,
+                avg_power_w: 1.0,
+                energy_j: 0.0005,
+                instructions_g: 0.01,
+            }],
+        }
+    }
+
+    #[test]
+    fn equality_ignores_timing_and_workers() {
+        let a = sample();
+        let mut b = sample();
+        b.wall_s = 99.0;
+        b.epochs_per_sec = 1.0;
+        b.workers = 8;
+        assert_eq!(a, b);
+        let mut c = sample();
+        c.energy_j += 1e-9;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn digest_tracks_deterministic_fields_only() {
+        let a = sample();
+        let mut b = sample();
+        b.wall_s = 42.0;
+        b.workers = 3;
+        assert_eq!(a.digest(), b.digest());
+        let mut c = sample();
+        c.per_core[0].avg_ips_err_pct += 0.25;
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn serializes_to_json_object() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"per_core\":[{"), "{json}");
+        assert!(json.contains("\"app\":\"astar\""), "{json}");
+    }
+}

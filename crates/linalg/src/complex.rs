@@ -134,7 +134,9 @@ impl CMatrix {
     pub fn solve(&self, b: &CMatrix) -> Result<CMatrix> {
         let (n, m) = self.shape();
         if n != m {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         if b.shape().0 != n {
             return Err(LinalgError::ShapeMismatch {
@@ -275,16 +277,8 @@ mod tests {
     #[test]
     fn complex_multiply_matches_scalar_arithmetic() {
         // (1+2j)(3+4j) = 3+4j+6j+8j² = -5 + 10j
-        let a = CMatrix::new(
-            Matrix::from_rows(&[&[1.0]]),
-            Matrix::from_rows(&[&[2.0]]),
-        )
-        .unwrap();
-        let b = CMatrix::new(
-            Matrix::from_rows(&[&[3.0]]),
-            Matrix::from_rows(&[&[4.0]]),
-        )
-        .unwrap();
+        let a = CMatrix::new(Matrix::from_rows(&[&[1.0]]), Matrix::from_rows(&[&[2.0]])).unwrap();
+        let b = CMatrix::new(Matrix::from_rows(&[&[3.0]]), Matrix::from_rows(&[&[4.0]])).unwrap();
         let p = a.mul(&b);
         assert!((p.re()[(0, 0)] + 5.0).abs() < 1e-15);
         assert!((p.im()[(0, 0)] - 10.0).abs() < 1e-15);
@@ -293,11 +287,7 @@ mod tests {
     #[test]
     fn solve_matches_scalar_division() {
         // (2 + 2j) x = 4 → x = 4(2-2j)/8 = 1 - 1j
-        let a = CMatrix::new(
-            Matrix::from_rows(&[&[2.0]]),
-            Matrix::from_rows(&[&[2.0]]),
-        )
-        .unwrap();
+        let a = CMatrix::new(Matrix::from_rows(&[&[2.0]]), Matrix::from_rows(&[&[2.0]])).unwrap();
         let b = CMatrix::from_real(&Matrix::from_rows(&[&[4.0]]));
         let x = a.solve(&b).unwrap();
         assert!((x.re()[(0, 0)] - 1.0).abs() < 1e-14);
@@ -311,11 +301,7 @@ mod tests {
             Matrix::from_rows(&[&[0.1, -0.3], &[0.2, 0.4]]),
         )
         .unwrap();
-        let b = CMatrix::new(
-            Matrix::col(&[1.0, 2.0]),
-            Matrix::col(&[0.5, -1.0]),
-        )
-        .unwrap();
+        let b = CMatrix::new(Matrix::col(&[1.0, 2.0]), Matrix::col(&[0.5, -1.0])).unwrap();
         let x = a.solve(&b).unwrap();
         let back = a.mul(&x);
         assert!(back.sub(&b).norm_fro() < 1e-12);

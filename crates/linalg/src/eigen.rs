@@ -299,7 +299,8 @@ fn hqr_eigenvalues(h: &mut Matrix) -> Result<Vec<Complex>> {
                 z = h[(m as usize, m as usize)];
                 let rr = x - z;
                 let ss = y - z;
-                p = (rr * ss - w) / h[((m + 1) as usize, m as usize)] + h[(m as usize, (m + 1) as usize)];
+                p = (rr * ss - w) / h[((m + 1) as usize, m as usize)]
+                    + h[(m as usize, (m + 1) as usize)];
                 q = h[((m + 1) as usize, (m + 1) as usize)] - z - rr - ss;
                 r = h[((m + 2) as usize, (m + 1) as usize)];
                 let s = p.abs() + q.abs() + r.abs();
@@ -327,7 +328,7 @@ fn hqr_eigenvalues(h: &mut Matrix) -> Result<Vec<Complex>> {
             }
             // Double QR step on rows l..nn and columns m..nn.
             let mut k = m;
-            while k <= nn - 1 {
+            while k < nn {
                 if k != m {
                     p = h[(k as usize, (k - 1) as usize)];
                     q = h[((k + 1) as usize, (k - 1) as usize)];
@@ -347,8 +348,8 @@ fn hqr_eigenvalues(h: &mut Matrix) -> Result<Vec<Complex>> {
                     z = h[(m as usize, m as usize)];
                     let rr = h[(nn as usize, nn as usize)] - z;
                     let ss = h[((nn - 1) as usize, (nn - 1) as usize)] - z;
-                    let ww = h[(nn as usize, (nn - 1) as usize)]
-                        * h[((nn - 1) as usize, nn as usize)];
+                    let ww =
+                        h[(nn as usize, (nn - 1) as usize)] * h[((nn - 1) as usize, nn as usize)];
                     p = (rr * ss - ww) / h[((m + 1) as usize, m as usize)]
                         + h[(m as usize, (m + 1) as usize)];
                     q = h[((m + 1) as usize, (m + 1) as usize)] - z - rr - ss;
@@ -363,8 +364,7 @@ fn hqr_eigenvalues(h: &mut Matrix) -> Result<Vec<Complex>> {
                 if s != 0.0 {
                     if k == m {
                         if l != m {
-                            h[(k as usize, (k - 1) as usize)] =
-                                -h[(k as usize, (k - 1) as usize)];
+                            h[(k as usize, (k - 1) as usize)] = -h[(k as usize, (k - 1) as usize)];
                         }
                     } else {
                         h[(k as usize, (k - 1) as usize)] = -s * x;
@@ -420,10 +420,7 @@ fn hqr_eigenvalues(h: &mut Matrix) -> Result<Vec<Complex>> {
 /// assert!((eigen::spectral_radius(&a).unwrap() - 0.9).abs() < 1e-12);
 /// ```
 pub fn spectral_radius(a: &Matrix) -> Result<f64> {
-    Ok(eigenvalues(a)?
-        .iter()
-        .map(Complex::abs)
-        .fold(0.0, f64::max))
+    Ok(eigenvalues(a)?.iter().map(Complex::abs).fold(0.0, f64::max))
 }
 
 /// Returns `true` if the discrete-time system `x(t+1) = A x(t)` is
@@ -478,11 +475,7 @@ mod tests {
     #[test]
     fn companion_matrix_of_known_polynomial() {
         // x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3)
-        let a = Matrix::from_rows(&[
-            &[6.0, -11.0, 6.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ]);
+        let a = Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
         let eigs = eigenvalues(&a).unwrap();
         let got = sorted_real(&eigs);
         assert!((got[0] - 1.0).abs() < 1e-8, "{got:?}");
@@ -571,11 +564,7 @@ mod tests {
         // Block-diagonal: blocks with known eigenvalues {0.8, -0.3} and ±0.6i.
         let mut a = Matrix::zeros(4, 4);
         a.set_block(0, 0, &Matrix::diag(&[0.8, -0.3]));
-        a.set_block(
-            2,
-            2,
-            &Matrix::from_rows(&[&[0.0, -0.6], &[0.6, 0.0]]),
-        );
+        a.set_block(2, 2, &Matrix::from_rows(&[&[0.0, -0.6], &[0.6, 0.0]]));
         // Similarity transform with a fixed invertible matrix to make it dense.
         let p = Matrix::from_rows(&[
             &[1.0, 0.2, 0.0, 0.1],

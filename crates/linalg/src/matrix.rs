@@ -244,7 +244,10 @@ impl Matrix {
     ///
     /// Panics if the block extends past the matrix bounds.
     pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of bounds");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block out of bounds"
+        );
         Matrix::from_fn(rows, cols, |i, j| self[(r0 + i, c0 + j)])
     }
 
@@ -320,7 +323,10 @@ impl Matrix {
             let h = row[0].rows;
             for (j, b) in row.iter().enumerate() {
                 assert_eq!(b.rows, h, "inconsistent block heights in a row");
-                assert_eq!(b.cols, col_widths[j], "inconsistent block widths in a column");
+                assert_eq!(
+                    b.cols, col_widths[j],
+                    "inconsistent block widths in a column"
+                );
             }
             total_rows += h;
         }
@@ -375,7 +381,9 @@ impl Matrix {
     /// Panics if the matrix is not square.
     pub fn symmetrize(&self) -> Matrix {
         assert!(self.is_square(), "symmetrize requires a square matrix");
-        Matrix::from_fn(self.rows, self.cols, |i, j| 0.5 * (self[(i, j)] + self[(j, i)]))
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            0.5 * (self[(i, j)] + self[(j, i)])
+        })
     }
 
     /// Solves `self * x = rhs` via LU with partial pivoting.

@@ -261,7 +261,10 @@ mod tests {
     fn least_squares_matches_exact_solution_for_square_system() {
         let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
         let b = Matrix::col(&[5.0, 10.0]);
-        let x_qr = QrDecomposition::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let x_qr = QrDecomposition::new(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
         let x_lu = a.solve(&b).unwrap();
         assert!((&x_qr - &x_lu).max_abs() < 1e-12);
     }
@@ -270,7 +273,10 @@ mod tests {
     fn least_squares_residual_is_orthogonal_to_range() {
         let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
         let b = Matrix::col(&[0.0, 1.0, 1.5, 3.2]);
-        let x = QrDecomposition::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let x = QrDecomposition::new(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
         let r = &(&a * &x) - &b;
         // Normal equations: Aᵀ r = 0.
         let at_r = &a.transpose() * &r;
@@ -291,7 +297,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
         let b = Matrix::col(&[1.0, 2.0, 3.0]);
         let qr = QrDecomposition::new(&a).unwrap();
-        assert_eq!(qr.solve_least_squares(&b).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            qr.solve_least_squares(&b).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]
@@ -310,7 +319,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
         let b = Matrix::col(&[1.0, 2.0, 3.0]);
         let x0 = ridge_least_squares(&a, &b, 0.0).unwrap();
-        let x1 = QrDecomposition::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let x1 = QrDecomposition::new(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
         assert!((&x0 - &x1).max_abs() < 1e-14);
     }
 

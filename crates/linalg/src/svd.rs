@@ -122,7 +122,13 @@ impl Svd {
             &self
                 .s
                 .iter()
-                .map(|&s| if smax > 0.0 && s > rtol * smax { 1.0 / s } else { 0.0 })
+                .map(|&s| {
+                    if smax > 0.0 && s > rtol * smax {
+                        1.0 / s
+                    } else {
+                        0.0
+                    }
+                })
                 .collect::<Vec<_>>(),
         );
         // A⁺ = V S⁺ Uᵀ (shapes: (n x k)(k x k)(k x m)).
@@ -270,11 +276,7 @@ mod tests {
 
     #[test]
     fn reconstruction_tall() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let svd = Svd::new(&a).unwrap();
         assert!((&svd.reconstruct() - &a).max_abs() < 1e-12);
     }

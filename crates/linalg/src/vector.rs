@@ -45,9 +45,9 @@ impl Vector {
     }
 
     /// Creates a vector by evaluating `f(i)` at every index.
-    pub fn from_fn<F: FnMut(usize) -> f64>(n: usize, mut f: F) -> Self {
+    pub fn from_fn<F: FnMut(usize) -> f64>(n: usize, f: F) -> Self {
         Vector {
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(f).collect(),
         }
     }
 

@@ -148,8 +148,14 @@ mod tests {
         let steep = phase(2.5, 1.0);
         let shallow_ratio = l2_mpki_steady(&shallow, 2) / l2_mpki_steady(&shallow, 8);
         let steep_ratio = l2_mpki_steady(&steep, 2) / l2_mpki_steady(&steep, 8);
-        assert!(shallow_ratio < 1.6, "streaming barely cares: {shallow_ratio}");
-        assert!(steep_ratio > 10.0, "blocked kernel collapses: {steep_ratio}");
+        assert!(
+            shallow_ratio < 1.6,
+            "streaming barely cares: {shallow_ratio}"
+        );
+        assert!(
+            steep_ratio > 10.0,
+            "blocked kernel collapses: {steep_ratio}"
+        );
     }
 
     #[test]

@@ -218,7 +218,11 @@ mod tests {
         };
         let b_small = bips(&p, &small, &warm_cache(2), 1.0);
         let b_big = bips(&p, &PlantConfig::max(), &warm_cache(8), 1.0);
-        assert!(b_big < 1.15 * b_small, "streamer speedup {}", b_big / b_small);
+        assert!(
+            b_big < 1.15 * b_small,
+            "streamer speedup {}",
+            b_big / b_small
+        );
     }
 
     #[test]

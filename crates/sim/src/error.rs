@@ -30,7 +30,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UnknownApp { name } => {
-                write!(f, "unknown application '{name}'; see workload::catalog_names()")
+                write!(
+                    f,
+                    "unknown application '{name}'; see workload::catalog_names()"
+                )
             }
             SimError::BadActuation { got, expected } => {
                 write!(f, "actuation vector has {got} entries, expected {expected}")

@@ -207,10 +207,7 @@ mod tests {
     #[test]
     fn gating_cache_cuts_both_power_terms() {
         let full = PlantConfig::max();
-        let gated = PlantConfig {
-            l2_ways: 2,
-            ..full
-        };
+        let gated = PlantConfig { l2_ways: 2, ..full };
         assert!(dynamic_power(&gated, 1.5, 0.9) < dynamic_power(&full, 1.5, 0.9));
         assert!(leakage_power(&gated) < leakage_power(&full));
     }
@@ -239,10 +236,7 @@ mod tests {
             freq_ghz: 1.4,
             ..base
         };
-        let cache_change = PlantConfig {
-            l2_ways: 4,
-            ..base
-        };
+        let cache_change = PlantConfig { l2_ways: 4, ..base };
         let rob_change = PlantConfig {
             rob_entries: 64,
             ..base
@@ -261,14 +255,8 @@ mod tests {
     #[test]
     fn multi_step_cache_jumps_pay_per_step() {
         let base = PlantConfig::baseline(); // 6 ways
-        let one = PlantConfig {
-            l2_ways: 4,
-            ..base
-        };
-        let three = PlantConfig {
-            l2_ways: 2,
-            ..base
-        }; // 2 steps away
+        let one = PlantConfig { l2_ways: 4, ..base };
+        let three = PlantConfig { l2_ways: 2, ..base }; // 2 steps away
         let c1 = transition_cost(&base, &one);
         let c3 = transition_cost(&base, &three);
         assert!((c3.stall_us - 2.0 * c1.stall_us).abs() < 1e-9);

@@ -425,7 +425,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
-            let mut p = ProcessorBuilder::new().app("astar").seed(seed).build().unwrap();
+            let mut p = ProcessorBuilder::new()
+                .app("astar")
+                .seed(seed)
+                .build()
+                .unwrap();
             let u = Vector::from_slice(&[1.3, 6.0, 48.0]);
             (0..50).map(|_| p.apply(&u)[0]).sum::<f64>()
         };
@@ -499,7 +503,10 @@ mod tests {
         for _ in 0..30 {
             after = p.apply(&u_hi)[0];
         }
-        assert!(transition < after, "transition {transition} vs settled {after}");
+        assert!(
+            transition < after,
+            "transition {transition} vs settled {after}"
+        );
         assert!(after > settled, "higher f should win eventually");
     }
 

@@ -90,10 +90,7 @@ pub fn catalog() -> Vec<AppProfile> {
         AppProfile::new(
             "bzip2",
             Int,
-            vec![
-                low_ilp(1.25, 6.5, 1800),
-                memory_bound(1.5, 5.0, 2.5, 1200),
-            ],
+            vec![low_ilp(1.25, 6.5, 1800), memory_bound(1.5, 5.0, 2.5, 1200)],
         ),
         // gcc: compiler; branchy pointer chasing, bursty misses. Non-responsive.
         AppProfile::new(
@@ -118,19 +115,12 @@ pub fn catalog() -> Vec<AppProfile> {
         AppProfile::new(
             "h264ref",
             Int,
-            vec![
-                low_ilp(1.3, 3.5, 2000),
-                memory_bound(1.5, 4.5, 3.0, 900),
-            ],
+            vec![low_ilp(1.3, 3.5, 2000), memory_bound(1.5, 4.5, 3.0, 900)],
         ),
         // hmmer: profile HMM search; long dependence chains. Non-responsive.
         AppProfile::new("hmmer", Int, vec![low_ilp(1.28, 2.0, 3000)]),
         // libquantum: streaming over a huge vector. Non-responsive.
-        AppProfile::new(
-            "libquantum",
-            Int,
-            vec![memory_bound(1.8, 22.0, 5.0, 2600)],
-        ),
+        AppProfile::new("libquantum", Int, vec![memory_bound(1.8, 22.0, 5.0, 2600)]),
         // mcf: pointer-chasing sparse network solver. Non-responsive.
         AppProfile::new(
             "mcf",
@@ -141,45 +131,28 @@ pub fn catalog() -> Vec<AppProfile> {
             ],
         ),
         // omnetpp: discrete event simulation; heap-heavy. Non-responsive.
-        AppProfile::new(
-            "omnetpp",
-            Int,
-            vec![memory_bound(1.3, 12.0, 2.0, 2400)],
-        ),
+        AppProfile::new("omnetpp", Int, vec![memory_bound(1.3, 12.0, 2.0, 2400)]),
         // perlbench: interpreter; branchy, icache/dcache pressure. Non-responsive.
         AppProfile::new(
             "perlbench",
             Int,
-            vec![
-                low_ilp(1.3, 7.5, 1300),
-                cache_sensitive(1.4, 3.0, 1.4, 900),
-            ],
+            vec![low_ilp(1.3, 7.5, 1300), cache_sensitive(1.4, 3.0, 1.4, 900)],
         ),
         // sjeng: chess search; branchy compute. TRAINING.
         AppProfile::new(
             "sjeng",
             Int,
-            vec![
-                compute(2.0, 8.0, 0.85, 1900),
-                low_ilp(1.6, 7.0, 800),
-            ],
+            vec![compute(2.0, 8.0, 0.85, 1900), low_ilp(1.6, 7.0, 800)],
         ),
         // xalancbmk: XML transform; pointer-heavy. Non-responsive.
         AppProfile::new(
             "xalancbmk",
             Int,
-            vec![
-                memory_bound(1.4, 9.0, 2.2, 1400),
-                low_ilp(1.25, 6.0, 1000),
-            ],
+            vec![memory_bound(1.4, 9.0, 2.2, 1400), low_ilp(1.25, 6.0, 1000)],
         ),
         // ---- SPECfp 2006 minus zeusmp (16) -------------------------------
         // bwaves: blast-wave CFD; streaming dense algebra. Non-responsive.
-        AppProfile::new(
-            "bwaves",
-            Fp,
-            vec![memory_bound(1.7, 15.0, 4.5, 2800)],
-        ),
+        AppProfile::new("bwaves", Fp, vec![memory_bound(1.7, 15.0, 4.5, 2800)]),
         // cactusADM: numerical relativity; cache-sensitive stencils. Responsive.
         AppProfile::new(
             "cactusADM",
@@ -211,19 +184,12 @@ pub fn catalog() -> Vec<AppProfile> {
         // gamess: quantum chemistry; very compute-dense. Responsive.
         AppProfile::new("gamess", Fp, vec![compute(2.7, 1.2, 1.05, 3200)]),
         // GemsFDTD: FDTD field solver; streaming stencils. Non-responsive.
-        AppProfile::new(
-            "GemsFDTD",
-            Fp,
-            vec![memory_bound(1.6, 14.0, 4.0, 2600)],
-        ),
+        AppProfile::new("GemsFDTD", Fp, vec![memory_bound(1.6, 14.0, 4.0, 2600)]),
         // gromacs: molecular dynamics; compute-dense inner loops. Responsive.
         AppProfile::new(
             "gromacs",
             Fp,
-            vec![
-                compute(2.4, 1.8, 1.0, 2400),
-                compute(2.1, 2.2, 0.9, 1000),
-            ],
+            vec![compute(2.4, 1.8, 1.0, 2400), compute(2.1, 2.2, 0.9, 1000)],
         ),
         // lbm: lattice Boltzmann; the canonical streamer. Non-responsive.
         AppProfile::new("lbm", Fp, vec![memory_bound(1.9, 24.0, 3.0, 3000)]),
@@ -250,28 +216,19 @@ pub fn catalog() -> Vec<AppProfile> {
         AppProfile::new(
             "namd",
             Fp,
-            vec![
-                compute(2.6, 1.0, 1.05, 2600),
-                compute(2.3, 1.4, 0.95, 1200),
-            ],
+            vec![compute(2.6, 1.0, 1.05, 2600), compute(2.3, 1.4, 0.95, 1200)],
         ),
         // povray: ray tracing; compute/branchy mix, tiny data. Responsive.
         AppProfile::new(
             "povray",
             Fp,
-            vec![
-                compute(2.5, 5.0, 1.0, 2200),
-                compute(2.2, 6.5, 0.9, 1000),
-            ],
+            vec![compute(2.5, 5.0, 1.0, 2200), compute(2.2, 6.5, 0.9, 1000)],
         ),
         // soplex: LP simplex; sparse memory-bound pivoting. Non-responsive.
         AppProfile::new(
             "soplex",
             Fp,
-            vec![
-                memory_bound(1.4, 10.0, 2.5, 1700),
-                low_ilp(1.3, 4.0, 900),
-            ],
+            vec![memory_bound(1.4, 10.0, 2.5, 1700), low_ilp(1.3, 4.0, 900)],
         ),
         // sphinx3: speech recognition; cache-sensitive scoring. Responsive.
         AppProfile::new(
@@ -346,7 +303,11 @@ mod tests {
                     .iter()
                     .map(|p| p.l2_mpki)
                     .fold(0.0_f64, f64::max);
-                assert!(worst_mpki < 8.0, "{} too memory-bound to train on", app.name());
+                assert!(
+                    worst_mpki < 8.0,
+                    "{} too memory-bound to train on",
+                    app.name()
+                );
             }
         }
     }
@@ -370,7 +331,11 @@ mod tests {
         for app in catalog() {
             if !is_non_responsive(app.name()) {
                 let best_ilp = app.phases().iter().map(|p| p.ilp).fold(0.0_f64, f64::max);
-                assert!(best_ilp >= 1.8, "{} cannot reach the IPS target", app.name());
+                assert!(
+                    best_ilp >= 1.8,
+                    "{} cannot reach the IPS target",
+                    app.name()
+                );
             }
         }
     }

@@ -18,28 +18,26 @@ fn any_config() -> impl Strategy<Value = PlantConfig> {
 /// Strategy: a physically valid phase.
 fn any_phase() -> impl Strategy<Value = Phase> {
     (
-        0.5..3.0f64,   // ilp
-        0.0..30.0f64,  // l2_mpki
-        0.0..25.0f64,  // l1_mpki
-        0.0..2.5f64,   // cache_sens
-        0.0..1.0f64,   // rob_sens
-        0.0..12.0f64,  // branch_mpki
-        1.0..6.0f64,   // mem_parallelism
-        0.3..1.2f64,   // activity
+        0.5..3.0f64,  // ilp
+        0.0..30.0f64, // l2_mpki
+        0.0..25.0f64, // l1_mpki
+        0.0..2.5f64,  // cache_sens
+        0.0..1.0f64,  // rob_sens
+        0.0..12.0f64, // branch_mpki
+        1.0..6.0f64,  // mem_parallelism
+        0.3..1.2f64,  // activity
     )
-        .prop_map(
-            |(ilp, l2, l1, cs, rs, br, mlp, act)| Phase {
-                ilp,
-                l2_mpki: l2,
-                l1_mpki: l1,
-                cache_sens: cs,
-                rob_sens: rs,
-                branch_mpki: br,
-                mem_parallelism: mlp,
-                activity: act,
-                duration_epochs: 1000,
-            },
-        )
+        .prop_map(|(ilp, l2, l1, cs, rs, br, mlp, act)| Phase {
+            ilp,
+            l2_mpki: l2,
+            l1_mpki: l1,
+            cache_sens: cs,
+            rob_sens: rs,
+            branch_mpki: br,
+            mem_parallelism: mlp,
+            activity: act,
+            duration_epochs: 1000,
+        })
 }
 
 proptest! {

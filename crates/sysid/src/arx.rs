@@ -138,15 +138,15 @@ impl ArxModel {
         for (row, t) in (p..t_total).enumerate() {
             let mut col = 0;
             for i in 1..=orders.na {
-                for o in 0..n_outputs {
-                    phi[(row, col)] = y[t - i][o];
+                for &yo in &y[t - i].as_slice()[..n_outputs] {
+                    phi[(row, col)] = yo;
                     col += 1;
                 }
             }
             for j in 0..orders.nb {
                 let lag = j0 + j;
-                for i in 0..n_inputs {
-                    phi[(row, col)] = u[t - lag][i];
+                for &ui in &u[t - lag].as_slice()[..n_inputs] {
+                    phi[(row, col)] = ui;
                     col += 1;
                 }
             }
@@ -228,10 +228,7 @@ impl ArxModel {
     pub fn predict_one_step(&self, u: &[Vector], y: &[Vector], t: usize) -> Result<Vector> {
         let p = self.orders.history();
         if t < p || t >= u.len() {
-            return Err(SysidError::NotEnoughData {
-                have: t,
-                need: p,
-            });
+            return Err(SysidError::NotEnoughData { have: t, need: p });
         }
         let mut pred = Vector::zeros(self.n_outputs);
         for (i, a) in self.a_coeffs.iter().enumerate() {

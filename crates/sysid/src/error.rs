@@ -32,10 +32,16 @@ impl fmt::Display for SysidError {
         match self {
             SysidError::InconsistentData { what } => write!(f, "inconsistent data: {what}"),
             SysidError::NotEnoughData { have, need } => {
-                write!(f, "not enough data: have {have} samples, need at least {need}")
+                write!(
+                    f,
+                    "not enough data: have {have} samples, need at least {need}"
+                )
             }
             SysidError::PoorExcitation => {
-                write!(f, "regression is singular; excitation did not move all inputs")
+                write!(
+                    f,
+                    "regression is singular; excitation did not move all inputs"
+                )
             }
             SysidError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }

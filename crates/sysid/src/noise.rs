@@ -154,7 +154,12 @@ mod tests {
     fn covariance_scales_quadratically() {
         let r1 = noisy_residuals(2000, 1.0, 2.0);
         let c = covariance(&r1).unwrap();
-        assert!(c[(1, 1)] > 2.0 * c[(0, 0)], "c00={} c11={}", c[(0, 0)], c[(1, 1)]);
+        assert!(
+            c[(1, 1)] > 2.0 * c[(0, 0)],
+            "c00={} c11={}",
+            c[(0, 0)],
+            c[(1, 1)]
+        );
     }
 
     #[test]

@@ -54,7 +54,8 @@ impl Realization {
     ///
     /// Panics if `x` or `u` have the wrong dimension.
     pub fn step(&self, x: &Vector, u: &Vector) -> (Vector, Vector) {
-        let x_next = &self.a.mul_vec(x).expect("state dim") + &self.b.mul_vec(u).expect("input dim");
+        let x_next =
+            &self.a.mul_vec(x).expect("state dim") + &self.b.mul_vec(u).expect("input dim");
         let y = &self.c.mul_vec(x).expect("state dim") + &self.d.mul_vec(u).expect("input dim");
         (x_next, y)
     }

@@ -243,7 +243,6 @@ mod tests {
     }
 }
 
-
 #[cfg(test)]
 mod detrend_tests {
     use super::*;

@@ -96,7 +96,7 @@ impl Excitation {
         let mut seen: Vec<f64> = Vec::new();
         for s in &self.samples {
             let v = s[ch];
-            if !seen.iter().any(|&x| x == v) {
+            if !seen.contains(&v) {
                 seen.push(v);
             }
         }
@@ -166,9 +166,21 @@ pub fn prbs(steps: usize, lo: &[f64], hi: &[f64], hold: usize, seed: u64) -> Exc
 ///
 /// Panics if `lo`, `hi`, and `levels` disagree in length, if any channel has
 /// fewer than 2 levels, or if `dwell == 0`.
-pub fn staircase(steps: usize, lo: &[f64], hi: &[f64], levels: &[usize], dwell: usize) -> Excitation {
-    assert!(lo.len() == hi.len() && lo.len() == levels.len(), "channel count mismatch");
-    assert!(levels.iter().all(|&l| l >= 2), "each channel needs >= 2 levels");
+pub fn staircase(
+    steps: usize,
+    lo: &[f64],
+    hi: &[f64],
+    levels: &[usize],
+    dwell: usize,
+) -> Excitation {
+    assert!(
+        lo.len() == hi.len() && lo.len() == levels.len(),
+        "channel count mismatch"
+    );
+    assert!(
+        levels.iter().all(|&l| l >= 2),
+        "each channel needs >= 2 levels"
+    );
     assert!(dwell > 0, "dwell must be positive");
     let channels = lo.len();
     let mut samples = Vec::with_capacity(steps);
@@ -199,8 +211,14 @@ pub fn multilevel(
     hold: usize,
     seed: u64,
 ) -> Excitation {
-    assert!(lo.len() == hi.len() && lo.len() == levels.len(), "channel count mismatch");
-    assert!(levels.iter().all(|&l| l >= 2), "each channel needs >= 2 levels");
+    assert!(
+        lo.len() == hi.len() && lo.len() == levels.len(),
+        "channel count mismatch"
+    );
+    assert!(
+        levels.iter().all(|&l| l >= 2),
+        "each channel needs >= 2 levels"
+    );
     assert!(hold > 0, "hold must be positive");
     let channels = lo.len();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -293,7 +311,11 @@ mod tests {
     #[test]
     fn multilevel_visits_many_levels() {
         let e = multilevel(1000, &[0.0], &[1.5], &[16], 4, 11);
-        assert!(e.distinct_levels(0) >= 12, "visited {}", e.distinct_levels(0));
+        assert!(
+            e.distinct_levels(0) >= 12,
+            "visited {}",
+            e.distinct_levels(0)
+        );
         for t in 0..e.len() {
             assert!((0.0..=1.5).contains(&e.sample(t)[0]));
         }

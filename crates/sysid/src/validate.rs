@@ -47,7 +47,11 @@ impl ValidationReport {
 ///
 /// Returns [`SysidError::InconsistentData`] if the sequences differ in
 /// length or dimension, or [`SysidError::NotEnoughData`] if they are empty.
-pub fn compare(measured: &[Vector], predicted: &[Vector], window: usize) -> Result<ValidationReport> {
+pub fn compare(
+    measured: &[Vector],
+    predicted: &[Vector],
+    window: usize,
+) -> Result<ValidationReport> {
     if measured.len() != predicted.len() {
         return Err(SysidError::InconsistentData {
             what: format!(
@@ -155,7 +159,10 @@ pub fn fit_and_validate(
         &valid_y[..p],
         &valid_u[..p.max(1)],
         orders.na,
-        last_lag.saturating_sub(0).min(valid_u.len()).min(ss_input_lags(&ss, orders)),
+        last_lag
+            .saturating_sub(0)
+            .min(valid_u.len())
+            .min(ss_input_lags(&ss, orders)),
     );
     let predicted = ss.simulate(&x0, &valid_u[p..]);
     let report = compare(&valid_y[p..], &predicted, window)?;
@@ -203,8 +210,7 @@ pub fn order_sweep(
             nb: 1,
             direct_feedthrough,
         };
-        let (_, ss, report) =
-            fit_and_validate(train_u, train_y, valid_u, valid_y, orders, window)?;
+        let (_, ss, report) = fit_and_validate(train_u, train_y, valid_u, valid_y, orders, window)?;
         points.push(OrderSweepPoint {
             dimension: ss.state_dim(),
             orders,

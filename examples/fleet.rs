@@ -1,0 +1,47 @@
+//! Fleet: replicate one synthesized controller across a 16-core chip with a
+//! shared power budget, and show that results do not depend on the worker
+//! count (the README's "Many-core fleets" section, runnable).
+//!
+//! ```text
+//! cargo run --release --example fleet
+//! ```
+
+use mimo_arch::core::design::DesignFlow;
+use mimo_arch::fleet::{ArbitrationPolicy, FleetConfig, FleetRunner};
+use mimo_arch::sim::{InputSet, ProcessorBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesize one controller, exactly as for a single core.
+    let mut plant = ProcessorBuilder::new()
+        .app("namd")
+        .input_set(InputSet::FreqCache)
+        .build()?;
+    let controller = DesignFlow::two_input().run(&mut plant)?.into_controller();
+
+    // 2. Replicate it across 16 cores under a 19.2 W chip cap.
+    let cfg = || {
+        FleetConfig::new(16)
+            .epochs(1000)
+            .chip_power_cap(19.2)
+            .policy(ArbitrationPolicy::Proportional)
+    };
+    let stats = FleetRunner::with_shared_controller(cfg().workers(4), &controller)?.run();
+    println!(
+        "16 cores, 4 workers: chip power {:.2} W avg / {:.2} W peak, \
+         {:.1}% IPS err, {:.0} epochs/s",
+        stats.avg_chip_power_w,
+        stats.peak_chip_power_w,
+        stats.agg_ips_err_pct,
+        stats.epochs_per_sec
+    );
+
+    // 3. Same fleet, one worker: bit-identical science.
+    let serial = FleetRunner::with_shared_controller(cfg().workers(1), &controller)?.run();
+    assert_eq!(serial, stats, "results must not depend on the worker count");
+    println!(
+        "1 worker replay: digest {:016x} == {:016x}, deterministic",
+        serial.digest(),
+        stats.digest()
+    );
+    Ok(())
+}

@@ -17,6 +17,8 @@
 //!   Decoupled baselines.
 //! * [`exp`] — the experiment harness that regenerates every figure and
 //!   table of the paper's evaluation.
+//! * [`fleet`] — the many-core fleet runtime: per-core MIMO governors
+//!   stepped in lock-step epochs under a chip-level power-budget arbiter.
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@
 
 pub use mimo_core as core;
 pub use mimo_exp as exp;
+pub use mimo_fleet as fleet;
 pub use mimo_linalg as linalg;
 pub use mimo_sim as sim;
 pub use mimo_sysid as sysid;

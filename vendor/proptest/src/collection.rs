@@ -1,0 +1,76 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use core::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// Strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.min + 1 >= self.max_exclusive {
+            self.min
+        } else {
+            rng.gen_range(self.min..self.max_exclusive)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Sizes acceptable to [`vec`]: an exact length or a half-open range.
+pub trait IntoSizeRange {
+    /// Converts to `(min, max_exclusive)`.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self + 1)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end)
+    }
+}
+
+/// Builds a [`VecStrategy`] with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max_exclusive) = size.bounds();
+    VecStrategy {
+        element,
+        min,
+        max_exclusive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::__case_rng;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = __case_rng("m", "vec", 0);
+        let exact = vec(0.0..1.0f64, 7usize);
+        assert_eq!(exact.generate(&mut rng).len(), 7);
+        let ranged = vec(0usize..5, 1..20);
+        for _ in 0..200 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro` alone
+//! (no `syn`/`quote`, which are equally unavailable offline).
+//!
+//! `#[derive(Serialize)]` on a non-generic struct with named fields emits a
+//! `serde::Serialize` impl that renders the fields as a JSON object in
+//! declaration order. Enums and tuple structs get a `"null"`-rendering impl
+//! so derives still compile; nothing in the workspace serializes those.
+//! `#[derive(Deserialize)]` emits the marker impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (JSON object of named fields).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_type(input);
+    let body = match &parsed.fields {
+        Some(fields) if !fields.is_empty() => {
+            let mut stmts = String::new();
+            for (i, f) in fields.iter().enumerate() {
+                let comma = if i + 1 < fields.len() { "," } else { "" };
+                stmts.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\
+                     out.push_str(&::serde::Serialize::to_json(&self.{f}));\
+                     out.push_str(\"{comma}\");"
+                ));
+            }
+            format!(
+                "let mut out = ::std::string::String::from(\"{{\");\
+                 {stmts}\
+                 out.push('}}');\
+                 out"
+            )
+        }
+        Some(_) => "::std::string::String::from(\"{}\")".to_string(),
+        // Enums / tuple structs: compile, render as null.
+        None => "::std::string::String::from(\"null\")".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\
+             fn to_json(&self) -> ::std::string::String {{ {body} }}\
+         }}",
+        parsed.name
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_type(input);
+    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
+
+struct ParsedType {
+    name: String,
+    /// `Some(field names)` for a struct with named fields, `None` otherwise.
+    fields: Option<Vec<String>>,
+}
+
+fn parse_type(input: TokenStream) -> ParsedType {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind = String::new();
+    // Scan past attributes and visibility to `struct`/`enum`.
+    for tok in tokens.by_ref() {
+        if let TokenTree::Ident(id) = &tok {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                kind = s;
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let fields = if kind == "struct" {
+        tokens.find_map(|tok| match tok {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Some(named_fields(g.stream()))
+            }
+            _ => None,
+        })
+    } else {
+        None
+    };
+    ParsedType { name, fields }
+}
+
+/// Extracts field names from the token stream inside a struct's braces.
+///
+/// Fields are split on commas outside `<...>` nesting (parentheses and
+/// brackets are opaque `Group`s, so only angle brackets need depth
+/// tracking); within each field, the name is the identifier immediately
+/// before the first top-level `:`.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0usize;
+    let mut last_ident: Option<String> = None;
+    let mut name_taken = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ':' if angle_depth == 0 && !name_taken => {
+                    if let Some(name) = last_ident.take() {
+                        fields.push(name);
+                        name_taken = true;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    last_ident = None;
+                    name_taken = false;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !name_taken => {
+                let s = id.to_string();
+                // `pub` etc. are overwritten once the real name arrives.
+                last_ident = Some(s);
+            }
+            _ => {}
+        }
+    }
+    fields
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build container has no network access, so the workspace vendors a
+//! minimal-but-functional replacement. [`Serialize`] renders a value as a
+//! JSON string directly (`to_json`), instead of going through upstream
+//! serde's `Serializer` visitor machinery; the `derive` feature provides
+//! `#[derive(Serialize, Deserialize)]` for structs with named fields (see
+//! the sibling `serde_derive` stub). [`Deserialize`] is a marker trait —
+//! nothing in the workspace parses serialized records back.
+//!
+//! Record types that derive [`Serialize`] here (e.g. `WeightSet`,
+//! `FleetStats`) keep the same derive attribute they would use with real
+//! serde, so swapping the real crate back in is a one-line Cargo change
+//! (plus call-site changes from `.to_json()` to `serde_json::to_string`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value renderable as JSON.
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> String;
+}
+
+/// Marker for types that would be deserializable with real serde.
+pub trait Deserialize: Sized {}
+
+macro_rules! via_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> String {
+                self.to_string()
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+via_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> String {
+        if self.is_finite() {
+            // Ryū-style shortest round-trip formatting is what `{}` gives.
+            format!("{self}")
+        } else {
+            // JSON has no Inf/NaN; null is serde_json's lossy convention.
+            "null".to_string()
+        }
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> String {
+        f64::from(*self).to_json()
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for str {
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.len() + 2);
+        out.push('"');
+        for c in self.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> String {
+        self.as_str().to_json()
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> String {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> String {
+        let items: Vec<String> = self.iter().map(Serialize::to_json).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> String {
+        self.as_slice().to_json()
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> String {
+        self.as_slice().to_json()
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> String {
+        match self {
+            Some(v) => v.to_json(),
+            None => "null".to_string(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(3u64.to_json(), "3");
+        assert_eq!((-4i32).to_json(), "-4");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!("a\"b\\c\n".to_json(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(vec![1u64, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Some(2u64).to_json(), "2");
+        assert_eq!(Option::<u64>::None.to_json(), "null");
+        assert_eq!([1.5f64, 2.0].to_json(), "[1.5,2]");
+    }
+}
