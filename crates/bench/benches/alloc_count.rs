@@ -1,0 +1,93 @@
+//! Per-epoch heap-allocation comparison: the allocating controller step
+//! vs the scratch-workspace path the epoch engine drives.
+//!
+//! Not a timing benchmark — a counting `#[global_allocator]` reports
+//! exactly how many allocations each hot-path variant performs per epoch,
+//! so the zero-allocation claim is a printed, checkable number next to
+//! the Criterion timings. Runs under `cargo bench` (any extra harness
+//! flags such as `--test` are ignored).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mimo_core::engine::EpochLoop;
+use mimo_core::governor::MimoGovernor;
+use mimo_exp::setup;
+use mimo_linalg::Vector;
+use mimo_sim::InputSet;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn count<F: FnMut()>(epochs: u64, mut f: F) -> f64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..epochs {
+        f();
+    }
+    (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / epochs as f64
+}
+
+fn main() {
+    const EPOCHS: u64 = 1000;
+    let design = setup::design_mimo(InputSet::FreqCache, 1).expect("design");
+
+    let mut ctrl = design.controller.clone();
+    ctrl.set_reference(&Vector::from_slice(&[2.8, 1.9]));
+    let y = Vector::from_slice(&[2.3, 1.7]);
+    let mut out = Vector::zeros(2);
+    ctrl.step_into(&y, &mut out); // warm
+    let step_allocs = count(EPOCHS, || {
+        let _ = ctrl.step(&y);
+    });
+    let step_into_allocs = count(EPOCHS, || ctrl.step_into(&y, &mut out));
+
+    let gov = MimoGovernor::new(design.controller.clone());
+    let plant = setup::plant("astar", InputSet::FreqCache, 6);
+    let mut lp = EpochLoop::new(gov, plant);
+    lp.set_targets(&Vector::from_slice(&[2.8, 1.9]));
+    lp.prime();
+    for _ in 0..300 {
+        lp.step(); // warm: grid statics, phase state, cache resizes
+    }
+    let engine_allocs = count(EPOCHS, || {
+        lp.step();
+    });
+
+    println!("allocations per epoch over {EPOCHS} epochs:");
+    println!("  lqg step (allocating API)   {step_allocs:.3}");
+    println!("  lqg step_into (scratch)     {step_into_allocs:.3}");
+    println!("  engine epoch (gov + plant)  {engine_allocs:.3}");
+    assert_eq!(
+        step_into_allocs, 0.0,
+        "scratch step must be allocation-free"
+    );
+    assert_eq!(
+        engine_allocs, 0.0,
+        "steady-state engine epoch must be allocation-free"
+    );
+}

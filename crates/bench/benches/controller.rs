@@ -63,6 +63,43 @@ fn bench_lqg_step(c: &mut Criterion) {
     ctrl.set_reference(&Vector::from_slice(&[2.8, 1.9]));
     let y = Vector::from_slice(&[2.3, 1.7]);
     c.bench_function("control/lqg_step", |b| b.iter(|| ctrl.step(black_box(&y))));
+    // The allocation-free path the epoch engine actually drives: same
+    // arithmetic, every temporary in the scratch workspace.
+    let mut out = Vector::zeros(2);
+    c.bench_function("control/lqg_step_into", |b| {
+        b.iter(|| {
+            ctrl.step_into(black_box(&y), &mut out);
+            black_box(out[0])
+        })
+    });
+    // Retargeting with an unchanged reference (the fleet arbiter's common
+    // case) must cost a compare, not a steady-state resolve.
+    let targets = Vector::from_slice(&[2.8, 1.9]);
+    c.bench_function("control/set_reference_unchanged", |b| {
+        b.iter(|| ctrl.set_reference(black_box(&targets)))
+    });
+}
+
+/// The shared epoch engine against the same governor/plant pair the
+/// hand-rolled `fig/tracking_200_epochs` kernel drives: the difference is
+/// the `decide_into`/`apply_into` hot path vs the allocating `decide`/
+/// `apply` calls.
+fn bench_engine(c: &mut Criterion) {
+    use mimo_core::engine::EpochLoop;
+    let design = setup::design_mimo(InputSet::FreqCache, 5).expect("design");
+    c.bench_function("engine/tracking_200_epochs", |b| {
+        b.iter(|| {
+            let gov = MimoGovernor::new(design.controller.clone());
+            let plant = setup::plant("astar", InputSet::FreqCache, 6);
+            let mut lp = EpochLoop::new(gov, plant);
+            lp.set_targets(&Vector::from_slice(&[2.8, 1.9]));
+            lp.seed_outputs(&Vector::from_slice(&[1.0, 1.0]));
+            for _ in 0..200 {
+                lp.step();
+            }
+            black_box(lp.outputs()[0])
+        })
+    });
 }
 
 fn bench_sim_epoch(c: &mut Criterion) {
@@ -193,6 +230,7 @@ criterion_group!(
     bench_linalg,
     bench_dare,
     bench_lqg_step,
+    bench_engine,
     bench_sim_epoch,
     bench_sysid_fit,
     bench_figures,

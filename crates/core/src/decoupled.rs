@@ -67,6 +67,11 @@ impl<P: Plant + ?Sized> Plant for SisoView<'_, P> {
         Vector::from_slice(&[y[self.output_idx]])
     }
 
+    fn observe(&mut self) -> Vector {
+        let y = self.inner.observe();
+        Vector::from_slice(&[y[self.output_idx]])
+    }
+
     fn phase_changed(&self) -> bool {
         self.inner.phase_changed()
     }

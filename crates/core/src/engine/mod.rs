@@ -1,0 +1,273 @@
+//! The unified epoch engine: one hot loop for every driver.
+//!
+//! Every evaluation path in the repo — the experiment runners
+//! (tracking, schedules, optimization) and the fleet runtime — repeats
+//! the same epoch cadence: read the plant, let the governor decide,
+//! apply the actuation, record. [`EpochLoop`] owns that cadence once, so
+//! drivers become thin configurations instead of re-implementations, and
+//! the loop body routes through the allocation-free `*_into` paths
+//! ([`crate::governor::Governor::decide_into`],
+//! [`mimo_sim::Plant::apply_into`]) so a steady-state epoch performs zero
+//! heap allocations.
+//!
+//! Bit-exactness contract: stepping a governor/plant pair through
+//! [`EpochLoop::step`] produces the same measurements, statistics, and
+//! digests as the hand-rolled loops it replaced, because the `*_into`
+//! kernels evaluate the same floating-point operations in the same order.
+
+use mimo_linalg::Vector;
+use mimo_sim::Plant;
+
+use crate::governor::Governor;
+
+mod schedule;
+mod summary;
+
+pub use schedule::{ReferenceStep, ScheduleCursor};
+pub use summary::{
+    fleet_warmup, grid_step, rel_tracking_error, summarize, TrackingErrorAccumulator,
+    TrackingStats, WARMUP_EPOCHS,
+};
+
+/// Drives one governor against one plant, epoch by epoch.
+///
+/// The loop owns the measurement (`y`) and actuation (`u`) buffers and
+/// reuses them every epoch; optional history recording powers the
+/// [`TrackingStats`] reductions.
+///
+/// Both type parameters accept owned values, `&mut` borrows, or boxed
+/// trait objects (blanket impls forward the traits), so callers choose
+/// their ownership model: the experiment runners lend `&mut dyn
+/// Governor` / `&mut Processor`, the fleet gives each core an owned
+/// `Box<dyn Governor + Send>` + `Processor`.
+#[derive(Debug)]
+pub struct EpochLoop<G: Governor, P: Plant> {
+    gov: G,
+    plant: P,
+    /// Last measured outputs, fed to the governor next epoch.
+    y: Vector,
+    /// Actuation buffer, rewritten every epoch.
+    u: Vector,
+    /// Actuator grids, captured once at construction.
+    grids: Vec<Vec<f64>>,
+    u_hist: Vec<Vector>,
+    y_hist: Vec<Vector>,
+    record: bool,
+}
+
+impl<G: Governor, P: Plant> EpochLoop<G, P> {
+    /// Pairs `gov` with `plant`. The initial measurement is all zeros
+    /// (the fleet convention); call [`EpochLoop::prime`] to start from a
+    /// real reading instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the governor actuates a different number of inputs than
+    /// the plant exposes.
+    pub fn new(gov: G, plant: P) -> Self {
+        assert_eq!(
+            gov.num_inputs(),
+            plant.num_inputs(),
+            "governor/plant input count mismatch"
+        );
+        let y = Vector::zeros(plant.num_outputs());
+        let u = Vector::zeros(plant.num_inputs());
+        let grids = plant.input_grids();
+        EpochLoop {
+            gov,
+            plant,
+            y,
+            u,
+            grids,
+            u_hist: Vec::new(),
+            y_hist: Vec::new(),
+            record: false,
+        }
+    }
+
+    /// Obtains the first measurement by running one epoch at the plant's
+    /// current configuration (the experiment-runner convention).
+    pub fn prime(&mut self) {
+        self.y = self.plant.observe();
+    }
+
+    /// Seeds the measurement buffer from outputs obtained externally
+    /// (e.g. an optimizer's own priming epochs).
+    pub fn seed_outputs(&mut self, y: &Vector) {
+        self.y.copy_from(y);
+    }
+
+    /// Forwards reference targets to the governor.
+    pub fn set_targets(&mut self, y0: &Vector) {
+        self.gov.set_targets(y0);
+    }
+
+    /// Enables per-epoch input/output history recording (required by
+    /// [`EpochLoop::summarize`]), reserving room for `epochs` entries.
+    pub fn record_history(&mut self, epochs: usize) {
+        self.record = true;
+        self.u_hist.reserve(epochs);
+        self.y_hist.reserve(epochs);
+    }
+
+    /// Runs one epoch: the governor consumes the previous measurement and
+    /// the plant's phase flag, the plant applies the decided actuation,
+    /// and the fresh measurement is returned (and recorded when history
+    /// is enabled).
+    pub fn step(&mut self) -> &Vector {
+        let phase = self.plant.phase_changed();
+        self.gov.decide_into(&self.y, phase, &mut self.u);
+        self.plant.apply_into(&self.u, &mut self.y);
+        if self.record {
+            self.u_hist.push(self.u.clone());
+            self.y_hist.push(self.y.clone());
+        }
+        &self.y
+    }
+
+    /// The most recent measurement.
+    pub fn outputs(&self) -> &Vector {
+        &self.y
+    }
+
+    /// The most recent actuation.
+    pub fn last_input(&self) -> &Vector {
+        &self.u
+    }
+
+    /// Borrows the plant.
+    pub fn plant(&self) -> &P {
+        &self.plant
+    }
+
+    /// Mutably borrows the plant.
+    pub fn plant_mut(&mut self) -> &mut P {
+        &mut self.plant
+    }
+
+    /// Borrows the governor.
+    pub fn governor(&self) -> &G {
+        &self.gov
+    }
+
+    /// Mutably borrows the governor.
+    pub fn governor_mut(&mut self) -> &mut G {
+        &mut self.gov
+    }
+
+    /// Reduces the recorded history to [`TrackingStats`] against fixed
+    /// `targets` (history recording must be enabled).
+    pub fn summarize(&self, targets: &Vector, keep_trace: bool) -> TrackingStats {
+        summary::summarize(&self.u_hist, &self.y_hist, targets, &self.grids, keep_trace)
+    }
+
+    /// Consumes the loop, returning the recorded `(inputs, outputs)`
+    /// histories.
+    pub fn into_histories(self) -> (Vec<Vector>, Vec<Vector>) {
+        (self.u_hist, self.y_hist)
+    }
+
+    /// Consumes the loop, returning the governor and plant.
+    pub fn into_parts(self) -> (G, P) {
+        (self.gov, self.plant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::FixedGovernor;
+
+    /// A deterministic 2-in/2-out plant: y = u, counting epochs.
+    #[derive(Debug)]
+    struct Echo {
+        epochs: usize,
+    }
+
+    impl Plant for Echo {
+        fn num_inputs(&self) -> usize {
+            2
+        }
+
+        fn num_outputs(&self) -> usize {
+            2
+        }
+
+        fn input_grids(&self) -> Vec<Vec<f64>> {
+            vec![vec![0.0, 1.0, 2.0], vec![0.0, 4.0, 8.0]]
+        }
+
+        fn apply(&mut self, u: &Vector) -> Vector {
+            self.epochs += 1;
+            u.clone()
+        }
+
+        fn observe(&mut self) -> Vector {
+            self.epochs += 1;
+            Vector::from_slice(&[0.5, 0.5])
+        }
+
+        fn phase_changed(&self) -> bool {
+            false
+        }
+
+        fn reset(&mut self) {
+            self.epochs = 0;
+        }
+    }
+
+    #[test]
+    fn step_feeds_actuation_through_plant() {
+        let gov = FixedGovernor::new(Vector::from_slice(&[1.0, 4.0]));
+        let mut lp = EpochLoop::new(gov, Echo { epochs: 0 });
+        assert_eq!(lp.outputs(), &Vector::zeros(2));
+        lp.prime();
+        assert_eq!(lp.outputs(), &Vector::from_slice(&[0.5, 0.5]));
+        let y = lp.step().clone();
+        assert_eq!(y, Vector::from_slice(&[1.0, 4.0]));
+        assert_eq!(lp.last_input(), &Vector::from_slice(&[1.0, 4.0]));
+        assert_eq!(lp.plant().epochs, 2);
+    }
+
+    #[test]
+    fn history_and_summarize_work() {
+        let gov = FixedGovernor::new(Vector::from_slice(&[1.0, 4.0]));
+        let mut lp = EpochLoop::new(gov, Echo { epochs: 0 });
+        lp.record_history(8);
+        for _ in 0..8 {
+            lp.step();
+        }
+        let targets = Vector::from_slice(&[1.0, 4.0]);
+        let stats = lp.summarize(&targets, true);
+        assert_eq!(stats.avg_err_pct, vec![0.0, 0.0]);
+        assert_eq!(stats.steady_epoch, vec![Some(0), Some(0)]);
+        assert_eq!(stats.final_outputs, targets);
+        assert_eq!(stats.trace.as_ref().map(Vec::len), Some(8));
+        let (u_hist, y_hist) = lp.into_histories();
+        assert_eq!(u_hist.len(), 8);
+        assert_eq!(y_hist.len(), 8);
+    }
+
+    #[test]
+    fn accepts_borrowed_and_boxed_parties() {
+        let mut gov = FixedGovernor::new(Vector::from_slice(&[2.0, 8.0]));
+        let mut plant = Echo { epochs: 0 };
+        {
+            let dyn_gov: &mut dyn Governor = &mut gov;
+            let mut lp = EpochLoop::new(dyn_gov, &mut plant);
+            lp.step();
+            assert_eq!(lp.outputs(), &Vector::from_slice(&[2.0, 8.0]));
+        }
+        let boxed: Box<dyn Governor + Send> = Box::new(gov);
+        let mut lp = EpochLoop::new(boxed, plant);
+        lp.step();
+        assert_eq!(lp.plant().epochs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input count mismatch")]
+    fn input_count_mismatch_panics() {
+        let gov = FixedGovernor::new(Vector::from_slice(&[1.0]));
+        let _ = EpochLoop::new(gov, Echo { epochs: 0 });
+    }
+}

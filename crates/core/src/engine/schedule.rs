@@ -1,0 +1,103 @@
+//! Piecewise-constant reference schedules (§VIII-E).
+
+use mimo_linalg::Vector;
+
+/// One reference step of a time-varying schedule: from `epoch` on, track
+/// `targets`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceStep {
+    /// First epoch at which these targets apply.
+    pub epoch: usize,
+    /// `[IPS, power]` targets.
+    pub targets: Vector,
+}
+
+/// Walks a sorted [`ReferenceStep`] schedule epoch by epoch, invoking a
+/// callback for every step boundary crossed so the governor can be
+/// retargeted.
+#[derive(Debug, Clone)]
+pub struct ScheduleCursor<'a> {
+    schedule: &'a [ReferenceStep],
+    idx: usize,
+}
+
+impl<'a> ScheduleCursor<'a> {
+    /// Positions the cursor on the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule` is empty.
+    pub fn new(schedule: &'a [ReferenceStep]) -> Self {
+        assert!(!schedule.is_empty(), "schedule must have at least one step");
+        ScheduleCursor { schedule, idx: 0 }
+    }
+
+    /// The targets of the step currently in force.
+    pub fn current(&self) -> &'a Vector {
+        &self.schedule[self.idx].targets
+    }
+
+    /// Advances to the step in force at epoch `t`, calling `apply` with
+    /// each intermediate step's targets (in order), and returns the final
+    /// targets. Epochs must be visited in nondecreasing order.
+    pub fn advance<F: FnMut(&Vector)>(&mut self, t: usize, mut apply: F) -> &'a Vector {
+        while self.idx + 1 < self.schedule.len() && self.schedule[self.idx + 1].epoch <= t {
+            self.idx += 1;
+            apply(&self.schedule[self.idx].targets);
+        }
+        self.current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> Vec<ReferenceStep> {
+        vec![
+            ReferenceStep {
+                epoch: 0,
+                targets: Vector::from_slice(&[2.0, 1.5]),
+            },
+            ReferenceStep {
+                epoch: 5,
+                targets: Vector::from_slice(&[3.0, 1.9]),
+            },
+            ReferenceStep {
+                epoch: 5,
+                targets: Vector::from_slice(&[1.2, 1.0]),
+            },
+        ]
+    }
+
+    #[test]
+    fn cursor_starts_on_first_step() {
+        let s = sched();
+        let c = ScheduleCursor::new(&s);
+        assert_eq!(c.current()[0], 2.0);
+    }
+
+    #[test]
+    fn cursor_applies_every_crossed_step() {
+        let s = sched();
+        let mut c = ScheduleCursor::new(&s);
+        let mut applied = Vec::new();
+        let t0 = c.advance(0, |v| applied.push(v[0]));
+        assert_eq!(t0[0], 2.0);
+        assert!(applied.is_empty());
+        // Epoch 5 crosses two boundaries at once; both fire, last wins.
+        let t5 = c.advance(5, |v| applied.push(v[0]));
+        assert_eq!(applied, vec![3.0, 1.2]);
+        assert_eq!(t5[0], 1.2);
+        // Later epochs stay on the last step.
+        let t9 = c.advance(9, |v| applied.push(v[0]));
+        assert_eq!(applied.len(), 2);
+        assert_eq!(t9[0], 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_schedule_panics() {
+        let _ = ScheduleCursor::new(&[]);
+    }
+}

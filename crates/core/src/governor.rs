@@ -25,8 +25,69 @@ pub trait Governor {
     /// program phase boundary (some governors re-plan on it).
     fn decide(&mut self, y: &Vector, phase_changed: bool) -> Vector;
 
+    /// In-place variant of [`Governor::decide`]: writes the actuation into
+    /// `out` (which must have [`Governor::num_inputs`] elements). The
+    /// default forwards to `decide`; allocation-free governors override it
+    /// so the epoch hot loop performs no heap allocations. Implementations
+    /// must be bit-identical to `decide`.
+    fn decide_into(&mut self, y: &Vector, phase_changed: bool, out: &mut Vector) {
+        out.copy_from(&self.decide(y, phase_changed));
+    }
+
     /// Clears runtime state (not the design).
     fn reset(&mut self);
+}
+
+impl<G: Governor + ?Sized> Governor for &mut G {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn num_inputs(&self) -> usize {
+        (**self).num_inputs()
+    }
+
+    fn set_targets(&mut self, y0: &Vector) {
+        (**self).set_targets(y0);
+    }
+
+    fn decide(&mut self, y: &Vector, phase_changed: bool) -> Vector {
+        (**self).decide(y, phase_changed)
+    }
+
+    fn decide_into(&mut self, y: &Vector, phase_changed: bool, out: &mut Vector) {
+        (**self).decide_into(y, phase_changed, out);
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+impl<G: Governor + ?Sized> Governor for Box<G> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn num_inputs(&self) -> usize {
+        (**self).num_inputs()
+    }
+
+    fn set_targets(&mut self, y0: &Vector) {
+        (**self).set_targets(y0);
+    }
+
+    fn decide(&mut self, y: &Vector, phase_changed: bool) -> Vector {
+        (**self).decide(y, phase_changed)
+    }
+
+    fn decide_into(&mut self, y: &Vector, phase_changed: bool, out: &mut Vector) {
+        (**self).decide_into(y, phase_changed, out);
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
 }
 
 /// The Baseline architecture: a non-configurable design whose inputs are
@@ -56,6 +117,10 @@ impl Governor for FixedGovernor {
 
     fn decide(&mut self, _y: &Vector, _phase_changed: bool) -> Vector {
         self.actuation.clone()
+    }
+
+    fn decide_into(&mut self, _y: &Vector, _phase_changed: bool, out: &mut Vector) {
+        out.copy_from(&self.actuation);
     }
 
     fn reset(&mut self) {}
@@ -94,6 +159,10 @@ impl Governor for MimoGovernor {
 
     fn decide(&mut self, y: &Vector, _phase_changed: bool) -> Vector {
         self.ctrl.step(y)
+    }
+
+    fn decide_into(&mut self, y: &Vector, _phase_changed: bool, out: &mut Vector) {
+        self.ctrl.step_into(y, out);
     }
 
     fn reset(&mut self) {

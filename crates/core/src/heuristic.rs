@@ -1,5 +1,5 @@
 //! The Heuristic baseline (Table IV): a sophisticated rule-based
-//! controller in the style of Zhang & Hoffmann [41] and Isci et al. [8].
+//! controller in the style of Zhang & Hoffmann \[41\] and Isci et al. \[8\].
 //!
 //! Two stages, as §VII-C describes:
 //!
@@ -58,7 +58,7 @@ impl SensitivityRanking {
 
 /// Profiles a plant's input sensitivities by sweeping each input from min
 /// to max with the others pinned at midrange, dwelling `settle` epochs at
-/// each end (like the ranking step of [8]).
+/// each end (like the ranking step of \[8\]).
 pub fn profile_sensitivity<P: Plant + ?Sized>(plant: &mut P, settle: usize) -> SensitivityRanking {
     let grids = plant.input_grids();
     let n = grids.len();
@@ -289,7 +289,7 @@ impl Governor for HeuristicTracker {
 const OPT_DWELL: usize = 40;
 
 /// The optimization-mode heuristic: an iterative per-feature search in
-/// rank order (similar to [10], [23], [41], [42]), capped at `max_tries`
+/// rank order (similar to \[10\], \[23\], \[41\], \[42\]), capped at `max_tries`
 /// configurations, restarted on phase changes.
 #[derive(Debug, Clone)]
 pub struct HeuristicOptimizer {

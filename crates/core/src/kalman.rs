@@ -113,11 +113,73 @@ impl KalmanFilter {
     ///
     /// Panics on dimension mismatches (programming errors).
     pub fn update(&self, sys: &StateSpace, xhat: &Vector, u: &Vector, y: &Vector) -> Vector {
-        let y_pred = &sys.c().mul_vec(xhat).expect("x dim") + &sys.d().mul_vec(u).expect("u dim");
-        let innov = y - &y_pred;
-        let correction = self.l.mul_vec(&innov).expect("innovation dim");
-        &(&sys.a().mul_vec(xhat).expect("x dim") + &sys.b().mul_vec(u).expect("u dim"))
-            + &correction
+        let mut scratch = KalmanScratch::new(sys.state_dim(), sys.num_outputs());
+        let mut x_next = xhat.clone();
+        self.update_into(sys, &mut x_next, u, y, &mut scratch);
+        x_next
+    }
+
+    /// One predictor update, in place and allocation-free: overwrites
+    /// `xhat` with `x̂(t+1) = A x̂ + B u + L (y − C x̂ − D u)` using the
+    /// caller-provided [`KalmanScratch`].
+    ///
+    /// Bit-identical to [`KalmanFilter::update`] (which forwards here):
+    /// the same matrix-vector products and elementwise sums are evaluated
+    /// in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches (programming errors).
+    pub fn update_into(
+        &self,
+        sys: &StateSpace,
+        xhat: &mut Vector,
+        u: &Vector,
+        y: &Vector,
+        s: &mut KalmanScratch,
+    ) {
+        // y_pred = C x̂ + D u.
+        sys.c().mul_vec_into(xhat, &mut s.y_pred).expect("x dim");
+        sys.d().mul_vec_into(u, &mut s.d_u).expect("u dim");
+        s.y_pred += &s.d_u;
+        // innov = y − y_pred.
+        y.sub_into(&s.y_pred, &mut s.innov);
+        // correction = L innov.
+        self.l
+            .mul_vec_into(&s.innov, &mut s.correction)
+            .expect("innovation dim");
+        // x̂ ← (A x̂ + B u) + correction.
+        sys.a().mul_vec_into(xhat, &mut s.a_x).expect("x dim");
+        sys.b().mul_vec_into(u, &mut s.b_u).expect("u dim");
+        s.a_x += &s.b_u;
+        s.a_x += &s.correction;
+        xhat.copy_from(&s.a_x);
+    }
+}
+
+/// Reusable temporaries for [`KalmanFilter::update_into`], sized for one
+/// plant so a steady-state estimator update performs no heap allocations.
+#[derive(Debug, Clone)]
+pub struct KalmanScratch {
+    y_pred: Vector,
+    d_u: Vector,
+    innov: Vector,
+    a_x: Vector,
+    b_u: Vector,
+    correction: Vector,
+}
+
+impl KalmanScratch {
+    /// Allocates scratch for a plant with `n` states and `o` outputs.
+    pub fn new(n: usize, o: usize) -> Self {
+        KalmanScratch {
+            y_pred: Vector::zeros(o),
+            d_u: Vector::zeros(o),
+            innov: Vector::zeros(o),
+            a_x: Vector::zeros(n),
+            b_u: Vector::zeros(n),
+            correction: Vector::zeros(n),
+        }
     }
 }
 

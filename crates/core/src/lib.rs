@@ -24,6 +24,9 @@
 //!   plus threshold rules (Zhang–Hoffmann-style).
 //! * [`governor`] — the common per-epoch controller interface every
 //!   architecture (Table IV) implements.
+//! * [`engine`] — the unified epoch loop (decide → apply → record) that
+//!   every driver, from the experiment runners to the fleet runtime,
+//!   steps through; its hot path is allocation-free.
 //! * [`design`] — the Figure 3 design flow: identify → weight → synthesize
 //!   → validate → guardband → RSA, end to end against a live plant.
 
@@ -33,6 +36,7 @@
 pub mod dare;
 pub mod decoupled;
 pub mod design;
+pub mod engine;
 pub mod governor;
 pub mod heuristic;
 pub mod kalman;
@@ -45,6 +49,7 @@ pub mod weights;
 
 mod error;
 
+pub use engine::EpochLoop;
 pub use error::ControlError;
 pub use governor::Governor;
 pub use lqg::LqgController;

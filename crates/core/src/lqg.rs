@@ -30,7 +30,7 @@
 use mimo_linalg::{Matrix, Vector};
 use mimo_sysid::scale::ChannelScaler;
 
-use crate::kalman::KalmanFilter;
+use crate::kalman::{KalmanFilter, KalmanScratch};
 use crate::lqr::{design_lqr, LqrGain};
 use crate::ss::StateSpace;
 use crate::{ControlError, Result};
@@ -177,6 +177,7 @@ impl LqgDesign {
             y_ref_norm: Vector::zeros(o),
             x_ss: Vector::zeros(n),
             u_ss: Vector::zeros(i),
+            scratch: LqgScratch::new(n, i, o),
             design: self,
         };
         // Initialize at a neutral reference (normalized zero = operating
@@ -205,6 +206,42 @@ pub struct LqgController {
     y_ref_norm: Vector,
     x_ss: Vector,
     u_ss: Vector,
+    /// Reusable temporaries so a steady-state epoch allocates nothing.
+    scratch: LqgScratch,
+}
+
+/// Reusable temporaries for [`LqgController::step_into`], sized once at
+/// synthesis so the 50 µs epoch step performs zero heap allocations.
+#[derive(Debug, Clone)]
+struct LqgScratch {
+    /// Normalized measurement.
+    y_norm: Vector,
+    /// Augmented state `[x̃; ũ₋₁; q]`.
+    z: Vector,
+    /// `Δu = −F z`.
+    du: Vector,
+    /// Clamped normalized candidate input.
+    u_raw: Vector,
+    /// Physical candidate input before quantization.
+    u_phys_raw: Vector,
+    /// Physical previous input (for slew limiting).
+    u_prev_phys: Vector,
+    /// Estimator temporaries.
+    kalman: KalmanScratch,
+}
+
+impl LqgScratch {
+    fn new(n: usize, i: usize, o: usize) -> Self {
+        LqgScratch {
+            y_norm: Vector::zeros(o),
+            z: Vector::zeros(n + i + o),
+            du: Vector::zeros(i),
+            u_raw: Vector::zeros(i),
+            u_phys_raw: Vector::zeros(i),
+            u_prev_phys: Vector::zeros(i),
+            kalman: KalmanScratch::new(n, o),
+        }
+    }
 }
 
 impl LqgController {
@@ -256,8 +293,30 @@ impl LqgController {
     /// windup — matching the paper's non-responsive-application behavior,
     /// where the controller gets as close as it can.
     pub fn set_reference(&mut self, y0_physical: &Vector) {
-        self.y_ref_norm = self.design.output_scaler.normalize(y0_physical);
-        self.recompute_steady_state();
+        assert_eq!(
+            y0_physical.len(),
+            self.num_outputs(),
+            "reference dimension mismatch"
+        );
+        // Allocation-free normalize with change detection: retargeting
+        // every epoch (the fleet arbiter's cadence) must not pay the
+        // steady-state resolve when the reference did not actually move.
+        // `recompute_steady_state` depends only on the normalized
+        // reference and the design, so skipping it on bit-equal targets
+        // leaves the controller state bit-identical.
+        let offsets = self.design.output_scaler.offsets();
+        let spans = self.design.output_scaler.spans();
+        let mut changed = false;
+        for c in 0..y0_physical.len() {
+            let v = (y0_physical[c] - offsets[c]) / spans[c];
+            if v.to_bits() != self.y_ref_norm[c].to_bits() {
+                self.y_ref_norm[c] = v;
+                changed = true;
+            }
+        }
+        if changed {
+            self.recompute_steady_state();
+        }
     }
 
     fn recompute_steady_state(&mut self) {
@@ -301,41 +360,83 @@ impl LqgController {
     ///
     /// Panics if `y_physical` has the wrong dimension.
     pub fn step(&mut self, y_physical: &Vector) -> Vector {
+        let mut u_phys = Vector::zeros(self.num_inputs());
+        self.step_into(y_physical, &mut u_phys);
+        u_phys
+    }
+
+    /// One control epoch, in place: consumes the physical measurement
+    /// `y(t)` and writes the physical, quantized actuation `u(t)` into
+    /// `out`. Bit-identical to [`LqgController::step`] (which forwards
+    /// here) but allocation-free: every temporary lives in the scratch
+    /// workspace sized at synthesis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y_physical` or `out` has the wrong dimension.
+    pub fn step_into(&mut self, y_physical: &Vector, out: &mut Vector) {
         assert_eq!(
             y_physical.len(),
             self.num_outputs(),
             "measurement dimension mismatch"
         );
-        let y_norm = self.design.output_scaler.normalize(y_physical);
+        assert_eq!(out.len(), self.num_inputs(), "actuation dimension mismatch");
+        let n = self.design.model.state_dim();
+        let i = self.design.model.num_inputs();
+        let o = self.design.model.num_outputs();
+        let s = &mut self.scratch;
+        self.design
+            .output_scaler
+            .normalize_into(y_physical, &mut s.y_norm);
 
         // Estimator update with the input actually applied last epoch.
-        self.xhat = self
-            .kalman
-            .update(&self.design.model, &self.xhat, &self.u_prev, &y_norm);
+        self.kalman.update_into(
+            &self.design.model,
+            &mut self.xhat,
+            &self.u_prev,
+            &s.y_norm,
+            &mut s.kalman,
+        );
 
         // Integrate the tracking error (leaky, with anti-windup clamp).
-        let err = &y_norm - &self.y_ref_norm;
-        self.q_int = &self.q_int.scale(INTEGRATOR_LEAK) + &err;
-        self.q_int = self.q_int.map(|v| v.clamp(-Q_CLAMP, Q_CLAMP));
+        for c in 0..o {
+            let err = s.y_norm[c] - self.y_ref_norm[c];
+            self.q_int[c] = (self.q_int[c] * INTEGRATOR_LEAK + err).clamp(-Q_CLAMP, Q_CLAMP);
+        }
 
         // Δu = −F [x̃; ũ₋₁; q].
-        let x_dev = &self.xhat - &self.x_ss;
-        let u_dev = &self.u_prev - &self.u_ss;
-        let z = x_dev.concat(&u_dev).concat(&self.q_int);
-        let du = self.f.mul_vec(&z).expect("gain dim").scale(-1.0);
+        for k in 0..n {
+            s.z[k] = self.xhat[k] - self.x_ss[k];
+        }
+        for k in 0..i {
+            s.z[n + k] = self.u_prev[k] - self.u_ss[k];
+        }
+        for k in 0..o {
+            s.z[n + i + k] = self.q_int[k];
+        }
+        self.f.mul_vec_into(&s.z, &mut s.du).expect("gain dim");
+        for v in s.du.as_mut_slice() {
+            *v *= -1.0;
+        }
 
         // Apply, clamp, quantize, and slew-limit to one grid step per
         // epoch per input: ways are power-gated one at a time and DVFS
         // relocks per step, and single-step motion stops the controller
         // from reacting to its own transition stalls (§IV-B2's "smaller
         // steps ... more effective control").
-        let u_raw = (&self.u_prev + &du).map(|v| v.clamp(-U_CLAMP, U_CLAMP));
-        let u_phys_raw = self.design.input_scaler.denormalize(&u_raw);
-        let u_prev_phys = self.design.input_scaler.denormalize(&self.u_prev);
-        let u_phys = Vector::from_fn(self.num_inputs(), |ch| {
+        for k in 0..i {
+            s.u_raw[k] = (self.u_prev[k] + s.du[k]).clamp(-U_CLAMP, U_CLAMP);
+        }
+        self.design
+            .input_scaler
+            .denormalize_into(&s.u_raw, &mut s.u_phys_raw);
+        self.design
+            .input_scaler
+            .denormalize_into(&self.u_prev, &mut s.u_prev_phys);
+        for ch in 0..i {
             let grid = &self.design.input_grids[ch];
-            let target = quantize_index(grid, u_phys_raw[ch]);
-            let current = quantize_index(grid, u_prev_phys[ch]);
+            let target = quantize_index(grid, s.u_phys_raw[ch]);
+            let current = quantize_index(grid, s.u_prev_phys[ch]);
             let stepped = if target > current {
                 current + 1
             } else if target < current {
@@ -343,11 +444,12 @@ impl LqgController {
             } else {
                 current
             };
-            grid[stepped]
-        });
+            out[ch] = grid[stepped];
+        }
         // Feed the *quantized* input back (anti-windup against rounding).
-        self.u_prev = self.design.input_scaler.normalize(&u_phys);
-        u_phys
+        self.design
+            .input_scaler
+            .normalize_into(out, &mut self.u_prev);
     }
 
     /// Resets the runtime state (estimate, integrator, previous input)

@@ -1,0 +1,182 @@
+//! Proof that the steady-state epoch hot path performs zero heap
+//! allocations.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up the test drives the allocation-free paths — the scratch-based
+//! LQG/Kalman updates, the unchanged-reference `set_reference` fast path,
+//! and a full `EpochLoop` epoch over the real `Processor` plant — and
+//! asserts the counter does not move.
+//!
+//! Everything is exercised from ONE `#[test]` function: the counter is
+//! process-global, so concurrent tests in the same binary would pollute
+//! the measurement windows.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mimo_core::engine::EpochLoop;
+use mimo_core::governor::{Governor, MimoGovernor};
+use mimo_core::kalman::KalmanScratch;
+use mimo_core::lqg::LqgDesign;
+use mimo_core::StateSpace;
+use mimo_linalg::{Matrix, Vector};
+use mimo_sim::{InputSet, ProcessorBuilder};
+use mimo_sysid::scale::ChannelScaler;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A small 2-state / 2-input / 2-output design whose physical ranges line
+/// up with the processor's frequency and cache knobs.
+fn design() -> LqgDesign {
+    LqgDesign {
+        model: StateSpace::new(
+            Matrix::diag(&[0.7, 0.6]),
+            Matrix::from_rows(&[&[0.5, 0.2], &[0.1, 0.6]]),
+            Matrix::identity(2),
+            Matrix::zeros(2, 2),
+        )
+        .unwrap(),
+        process_noise: Matrix::identity(2).scale(1e-4),
+        measurement_noise: Matrix::identity(2).scale(1e-4),
+        output_weights: vec![10.0, 1000.0],
+        input_weights: vec![0.01, 0.01],
+        integral_weight: 0.05,
+        input_scaler: ChannelScaler::from_ranges(&[(0.5, 2.0), (2.0, 8.0)]),
+        output_scaler: ChannelScaler::from_ranges(&[(0.0, 4.0), (0.0, 4.0)]),
+        input_grids: vec![
+            (0..=15).map(|i| 0.5 + 0.1 * f64::from(i)).collect(),
+            vec![2.0, 4.0, 6.0, 8.0],
+        ],
+    }
+}
+
+#[test]
+fn steady_state_epoch_allocates_nothing() {
+    // --- Kalman update_into ---------------------------------------------
+    let ctrl = design().build().unwrap();
+    let sys = ctrl.model().clone();
+    let kf = ctrl.kalman().clone();
+    let mut xhat = Vector::zeros(2);
+    let mut scratch = KalmanScratch::new(2, 2);
+    let u = Vector::from_slice(&[0.2, -0.1]);
+    let y = Vector::from_slice(&[0.3, 0.1]);
+    kf.update_into(&sys, &mut xhat, &u, &y, &mut scratch); // warm
+    let before = allocations();
+    for _ in 0..1000 {
+        kf.update_into(&sys, &mut xhat, &u, &y, &mut scratch);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "KalmanFilter::update_into allocated"
+    );
+
+    // --- LqgController step_into ----------------------------------------
+    let mut ctrl = design().build().unwrap();
+    let targets = Vector::from_slice(&[2.5, 2.0]);
+    ctrl.set_reference(&targets);
+    let y_meas = Vector::from_slice(&[2.3, 1.7]);
+    let mut u_out = Vector::zeros(2);
+    for _ in 0..50 {
+        ctrl.step_into(&y_meas, &mut u_out); // warm
+    }
+    let before = allocations();
+    for _ in 0..1000 {
+        ctrl.step_into(&y_meas, &mut u_out);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "LqgController::step_into allocated"
+    );
+
+    // --- set_reference with an unchanged target -------------------------
+    let before = allocations();
+    for _ in 0..1000 {
+        ctrl.set_reference(&targets);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "unchanged-target set_reference allocated"
+    );
+
+    // --- A full EpochLoop epoch over the real processor plant -----------
+    let plant = ProcessorBuilder::new()
+        .app("namd")
+        .seed(5)
+        .input_set(InputSet::FreqCache)
+        .build()
+        .unwrap();
+    let gov = MimoGovernor::new(design().build().unwrap());
+    let mut lp = EpochLoop::new(gov, plant);
+    lp.set_targets(&targets);
+    lp.prime();
+    // Warm-up covers actuator-grid statics, phase-table state, and the
+    // first cache resizes.
+    for _ in 0..300 {
+        lp.step();
+    }
+    let before = allocations();
+    for _ in 0..2000 {
+        lp.step();
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "EpochLoop::step over Processor allocated"
+    );
+
+    // Sanity: the boxed-governor form the fleet uses is equally clean.
+    let plant = ProcessorBuilder::new()
+        .app("astar")
+        .seed(9)
+        .input_set(InputSet::FreqCache)
+        .build()
+        .unwrap();
+    let gov: Box<dyn Governor + Send> = Box::new(MimoGovernor::new(design().build().unwrap()));
+    let mut lp = EpochLoop::new(gov, plant);
+    lp.set_targets(&targets);
+    for _ in 0..300 {
+        lp.step();
+    }
+    let before = allocations();
+    for _ in 0..2000 {
+        lp.step();
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "boxed-governor EpochLoop::step allocated"
+    );
+}

@@ -2,7 +2,7 @@
 //!
 //! The paper models a handheld whose OS lowers the (IPS, power) targets as
 //! the battery drains, using the QoE and battery-charge models of Yan et
-//! al. [36], with reference changes every 2 000 epochs and a total energy
+//! al. \[36\], with reference changes every 2 000 epochs and a total energy
 //! supply of 1 J. We reproduce the *shape*: a QoE-style utility keeps the
 //! performance target high while charge is plentiful and degrades it
 //! steeply as the battery empties, with the power target following.
@@ -37,7 +37,7 @@ impl BatterySchedule {
     }
 
     /// QoE-style scaling: utility stays near 1 above half charge and falls
-    /// off quadratically below (low-battery anxiety region of [36]).
+    /// off quadratically below (low-battery anxiety region of \[36\]).
     pub fn target_fraction(&self, charge_fraction: f64) -> f64 {
         let c = charge_fraction.clamp(0.0, 1.0);
         let f = if c >= 0.5 {

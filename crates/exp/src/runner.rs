@@ -6,30 +6,20 @@
 //! * [`run_schedule`] — time-varying references (§VIII-E, Figure 12).
 //! * [`run_optimization`] — optimizer-driven E·D^(k−1) minimization
 //!   (§VIII-F/G, Figures 9, 10).
+//!
+//! Every driver is a thin configuration of the shared
+//! [`mimo_core::engine::EpochLoop`]: the engine owns the epoch cadence
+//! (decide → apply → record), history recording, and the
+//! [`TrackingStats`] reduction, so the drivers differ only in how they
+//! retarget the governor and when they stop.
 
+use mimo_core::engine::{rel_tracking_error, EpochLoop, ScheduleCursor};
 use mimo_core::governor::Governor;
 use mimo_core::optimizer::{Metric, Optimizer, MAX_TRIES};
 use mimo_linalg::Vector;
 use mimo_sim::{Plant, PlantConfig, Processor, EPOCH_US};
 
-/// Epochs discarded from the front of a run when computing averages
-/// (controller warm-up).
-const WARMUP_EPOCHS: usize = 200;
-
-/// Tracking-run metrics.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TrackingStats {
-    /// Average |y − y₀| / y₀ per output, in percent, after warm-up.
-    pub avg_err_pct: Vec<f64>,
-    /// Epochs until each *input* last changed by more than one grid step
-    /// (the paper's "epochs to achieve steady state" per input); `None`
-    /// if the input never settles.
-    pub steady_epoch: Vec<Option<usize>>,
-    /// Mean outputs over the final quarter of the run.
-    pub final_outputs: Vector,
-    /// Recorded output trace (per epoch) when requested.
-    pub trace: Option<Vec<Vector>>,
-}
+pub use mimo_core::engine::{ReferenceStep, TrackingStats};
 
 /// Drives `gov` against `plant` toward fixed `targets` for `epochs`.
 pub fn run_tracking(
@@ -39,107 +29,14 @@ pub fn run_tracking(
     epochs: usize,
     keep_trace: bool,
 ) -> TrackingStats {
-    gov.set_targets(targets);
-    let grids = plant.input_grids();
-    let mut y = initial_outputs(plant);
-    let mut u_hist: Vec<Vector> = Vec::with_capacity(epochs);
-    let mut y_hist: Vec<Vector> = Vec::with_capacity(epochs);
+    let mut lp = EpochLoop::new(gov, plant);
+    lp.set_targets(targets);
+    lp.prime();
+    lp.record_history(epochs);
     for _ in 0..epochs {
-        let u = gov.decide(&y, plant.phase_changed());
-        y = plant.apply(&u);
-        u_hist.push(u);
-        y_hist.push(y.clone());
+        lp.step();
     }
-    summarize(&u_hist, &y_hist, targets, &grids, keep_trace)
-}
-
-fn initial_outputs(plant: &mut Processor) -> Vector {
-    // One epoch at the current configuration provides the first reading.
-    let u = Vector::from_slice(&plant.config().to_actuation(plant.input_set()));
-    plant.apply(&u)
-}
-
-fn summarize(
-    u_hist: &[Vector],
-    y_hist: &[Vector],
-    targets: &Vector,
-    grids: &[Vec<f64>],
-    keep_trace: bool,
-) -> TrackingStats {
-    let epochs = y_hist.len();
-    let o = targets.len();
-    let warm = WARMUP_EPOCHS.min(epochs / 4);
-
-    let mut avg_err_pct = vec![0.0; o];
-    let mut n = 0usize;
-    for y in &y_hist[warm..] {
-        for c in 0..o {
-            avg_err_pct[c] += ((y[c] - targets[c]) / targets[c].max(1e-9)).abs() * 100.0;
-        }
-        n += 1;
-    }
-    for e in &mut avg_err_pct {
-        *e /= n.max(1) as f64;
-    }
-
-    // Steady-state epoch per input: last time the input moved by more than
-    // one grid step from its final value.
-    let n_inputs = grids.len();
-    let mut steady_epoch = vec![None; n_inputs];
-    if let Some(last_u) = u_hist.last() {
-        for i in 0..n_inputs {
-            let step = grid_step(&grids[i]);
-            let final_v = last_u[i];
-            let mut last_move = 0usize;
-            for (t, u) in u_hist.iter().enumerate() {
-                if (u[i] - final_v).abs() > step * 1.01 {
-                    last_move = t + 1;
-                }
-            }
-            // The input never settles if it was still away from its final
-            // value in the last tenth of the run.
-            steady_epoch[i] = if last_move < epochs.saturating_sub(epochs / 10) {
-                Some(last_move)
-            } else {
-                None
-            };
-        }
-    }
-
-    // Mean over the final quarter; an empty run has no final window (the
-    // unguarded `epochs - quarter` underflowed when epochs == 0).
-    let quarter = (epochs / 4).max(1).min(epochs);
-    let mut final_outputs = Vector::zeros(o);
-    for y in &y_hist[epochs - quarter..] {
-        final_outputs += y;
-    }
-    if quarter > 0 {
-        final_outputs = final_outputs.scale(1.0 / quarter as f64);
-    }
-
-    TrackingStats {
-        avg_err_pct,
-        steady_epoch,
-        final_outputs,
-        trace: keep_trace.then(|| y_hist.to_vec()),
-    }
-}
-
-fn grid_step(grid: &[f64]) -> f64 {
-    grid.windows(2)
-        .map(|w| w[1] - w[0])
-        .fold(f64::INFINITY, f64::min)
-        .max(1e-9)
-}
-
-/// One reference step of a time-varying schedule: from `epoch` on, track
-/// `targets`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ReferenceStep {
-    /// First epoch at which these targets apply.
-    pub epoch: usize,
-    /// `[IPS, power]` targets.
-    pub targets: Vector,
+    lp.summarize(targets, keep_trace)
 }
 
 /// Time-varying-run result: the full output trace plus the reference
@@ -154,10 +51,15 @@ pub struct ScheduleTrace {
 
 impl ScheduleTrace {
     /// Mean |IPS − IPS₀| / IPS₀ over the run, in percent.
+    ///
+    /// Degenerate references (zero or non-finite IPS targets) contribute
+    /// a defined per-epoch error via
+    /// [`mimo_core::engine::rel_tracking_error`] instead of a NaN or
+    /// infinity that would poison the mean.
     pub fn ips_tracking_error_pct(&self) -> f64 {
         let mut acc = 0.0;
         for (y, r) in self.outputs.iter().zip(&self.references) {
-            acc += ((y[0] - r[0]) / r[0].max(1e-9)).abs();
+            acc += rel_tracking_error(y[0], r[0]);
         }
         acc / self.outputs.len().max(1) as f64 * 100.0
     }
@@ -170,22 +72,18 @@ pub fn run_schedule(
     schedule: &[ReferenceStep],
     epochs: usize,
 ) -> ScheduleTrace {
-    assert!(!schedule.is_empty(), "schedule must have at least one step");
-    let mut y = initial_outputs(plant);
-    let mut outputs = Vec::with_capacity(epochs);
+    let mut cursor = ScheduleCursor::new(schedule);
+    let mut lp = EpochLoop::new(gov, plant);
+    lp.prime();
+    lp.record_history(epochs);
     let mut references = Vec::with_capacity(epochs);
-    let mut step_idx = 0;
-    gov.set_targets(&schedule[0].targets);
+    lp.set_targets(cursor.current());
     for t in 0..epochs {
-        while step_idx + 1 < schedule.len() && schedule[step_idx + 1].epoch <= t {
-            step_idx += 1;
-            gov.set_targets(&schedule[step_idx].targets);
-        }
-        let u = gov.decide(&y, plant.phase_changed());
-        y = plant.apply(&u);
-        outputs.push(y.clone());
-        references.push(schedule[step_idx].targets.clone());
+        let targets = cursor.advance(t, |step| lp.set_targets(step));
+        lp.step();
+        references.push(targets.clone());
     }
+    let (_, outputs) = lp.into_histories();
     ScheduleTrace {
         outputs,
         references,
@@ -228,25 +126,30 @@ pub fn run_optimization(
     }
     let (start_ips, start_p) = (y[0], y[1]);
     let mut opt = Optimizer::new(metric, start_ips, start_p, MAX_TRIES);
-    gov.set_targets(&opt.targets());
+
+    let mut lp = EpochLoop::new(gov, plant);
+    lp.seed_outputs(&y);
+    lp.set_targets(&opt.targets());
 
     let mut window: Vec<Vector> = Vec::new();
     let mut epochs_on_trial = 0usize;
-    while plant.totals().instructions_g < budget_g {
-        let phase_changed = plant.phase_changed();
+    while lp.plant().totals().instructions_g < budget_g {
+        // `EpochLoop::step` reads the same flag internally; the plant does
+        // not advance in between, so both reads agree.
+        let phase_changed = lp.plant().phase_changed();
         if phase_changed && opt.is_done() {
             // §V: a new search starts when the application changes phases.
+            let y = lp.outputs();
             opt.restart(y[0], y[1]);
-            gov.set_targets(&opt.targets());
+            lp.set_targets(&opt.targets());
             epochs_on_trial = 0;
             window.clear();
         }
-        let u = gov.decide(&y, phase_changed);
-        y = plant.apply(&u);
+        lp.step();
         epochs_on_trial += 1;
         if !opt.is_done() {
             if epochs_on_trial > CONVERGE_EPOCHS - SCORE_EPOCHS {
-                window.push(y.clone());
+                window.push(lp.outputs().clone());
             }
             if epochs_on_trial >= CONVERGE_EPOCHS {
                 let mut avg = Vector::zeros(2);
@@ -255,17 +158,17 @@ pub fn run_optimization(
                 }
                 avg = avg.scale(1.0 / window.len().max(1) as f64);
                 if let Some(next) = opt.observe(avg[0], avg[1]) {
-                    gov.set_targets(&next);
+                    lp.set_targets(&next);
                 } else {
                     // Hold the best point found.
-                    gov.set_targets(&opt.targets());
+                    lp.set_targets(&opt.targets());
                 }
                 window.clear();
                 epochs_on_trial = 0;
             }
         }
     }
-    stats_from(plant, metric)
+    stats_from(lp.plant(), metric)
 }
 
 /// Runs a self-contained governor (Baseline, or the Heuristic's own
@@ -276,12 +179,12 @@ pub fn run_self_directed(
     metric: Metric,
     budget_g: f64,
 ) -> OptimizationStats {
-    let mut y = initial_outputs(plant);
-    while plant.totals().instructions_g < budget_g {
-        let u = gov.decide(&y, plant.phase_changed());
-        y = plant.apply(&u);
+    let mut lp = EpochLoop::new(gov, plant);
+    lp.prime();
+    while lp.plant().totals().instructions_g < budget_g {
+        lp.step();
     }
-    stats_from(plant, metric)
+    stats_from(lp.plant(), metric)
 }
 
 fn stats_from(plant: &Processor, metric: Metric) -> OptimizationStats {
@@ -405,6 +308,27 @@ mod tests {
         assert_eq!(trace.references[0][0], 2.0);
         assert_eq!(trace.references[99][0], 1.0);
         assert!(trace.ips_tracking_error_pct() >= 0.0);
+    }
+
+    #[test]
+    fn schedule_error_is_defined_for_degenerate_references() {
+        // A zero or non-finite reference must not turn the mean into
+        // NaN/inf; each such epoch contributes a bounded error instead.
+        let mk = |ips: f64| ScheduleTrace {
+            outputs: vec![Vector::from_slice(&[2.0, 1.0]); 4],
+            references: vec![Vector::from_slice(&[ips, 1.0]); 4],
+        };
+        assert_eq!(mk(0.0).ips_tracking_error_pct(), 100.0);
+        assert_eq!(mk(f64::NAN).ips_tracking_error_pct(), 100.0);
+        assert_eq!(mk(f64::INFINITY).ips_tracking_error_pct(), 100.0);
+        // Healthy references are unchanged: |2 − 4| / 4 = 50%.
+        assert_eq!(mk(4.0).ips_tracking_error_pct(), 50.0);
+        // An empty trace reports zero error, not 0/0.
+        let empty = ScheduleTrace {
+            outputs: vec![],
+            references: vec![],
+        };
+        assert_eq!(empty.ips_tracking_error_pct(), 0.0);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
+use mimo_core::engine::{fleet_warmup, EpochLoop, TrackingErrorAccumulator};
 use mimo_core::governor::{Governor, MimoGovernor};
 use mimo_core::lqg::LqgController;
 use mimo_linalg::Vector;
@@ -32,64 +33,47 @@ use crate::config::{CoreSpec, FleetConfig};
 use crate::error::{FleetError, Result};
 use crate::stats::{CoreStats, FleetStats};
 
-/// Epochs excluded from tracking-error accumulation while the per-core
-/// loops converge onto their references.
-fn warmup_epochs(total: usize) -> usize {
-    (total / 5).min(200)
-}
-
-/// One core: plant + governor + accumulated error statistics.
+/// One core: a shared epoch engine around the plant/governor pair, plus
+/// accumulated error statistics.
 struct CoreCell {
     idx: usize,
     spec: CoreSpec,
-    gov: Box<dyn Governor + Send>,
-    plant: Processor,
-    /// Last measured outputs fed to the governor next epoch.
-    y: Vector,
+    lp: EpochLoop<Box<dyn Governor + Send>, Processor>,
     /// Reference active during the current epoch (set by arbitration at
     /// the end of the previous one).
     target: Vector,
-    epoch: usize,
-    warmup: usize,
-    ips_err_sum: f64,
-    power_err_sum: f64,
-    err_samples: u64,
+    errs: TrackingErrorAccumulator,
 }
 
 impl CoreCell {
     /// Runs one epoch and returns the measurement for the arbiter.
     fn step(&mut self) -> CoreObs {
-        let phase = self.plant.phase_changed();
-        let u = self.gov.decide(&self.y, phase);
-        self.y = self.plant.apply(&u);
+        let y = self.lp.step();
         let obs = CoreObs {
-            ips: self.y[0],
-            power: self.y[1],
+            ips: y[0],
+            power: y[1],
         };
-        if self.epoch >= self.warmup {
-            self.ips_err_sum += ((obs.ips - self.target[0]) / self.target[0]).abs();
-            self.power_err_sum += ((obs.power - self.target[1]) / self.target[1]).abs();
-            self.err_samples += 1;
-        }
-        self.epoch += 1;
+        self.errs.record(y, &self.target);
         obs
     }
 
     /// Installs the arbitrated reference for the next epoch.
-    fn retarget(&mut self, t: Vector) {
-        self.gov.set_targets(&t);
-        self.target = t;
+    fn retarget(&mut self, t: &Vector) {
+        self.lp.set_targets(t);
+        self.target.copy_from(t);
     }
 
     fn into_stats(self) -> CoreStats {
-        let totals = self.plant.totals();
-        let n = self.err_samples.max(1) as f64;
+        let avg_ips_err_pct = self.errs.avg_pct(0);
+        let avg_power_err_pct = self.errs.avg_pct(1);
+        let (_, plant) = self.lp.into_parts();
+        let totals = plant.totals();
         CoreStats {
             core: self.idx,
             app: self.spec.app,
             seed: self.spec.seed,
-            avg_ips_err_pct: 100.0 * self.ips_err_sum / n,
-            avg_power_err_pct: 100.0 * self.power_err_sum / n,
+            avg_ips_err_pct,
+            avg_power_err_pct,
             avg_power_w: totals.avg_power(),
             energy_j: totals.energy_j,
             instructions_g: totals.instructions_g,
@@ -124,7 +108,7 @@ impl FleetRunner {
         F: FnMut(usize, &CoreSpec) -> Box<dyn Governor + Send>,
     {
         cfg.validate()?;
-        let warmup = warmup_epochs(cfg.epochs);
+        let warmup = fleet_warmup(cfg.epochs);
         let base = Vector::from_slice(&cfg.base_targets);
         let mut cells = Vec::with_capacity(cfg.n_cores);
         for (idx, spec) in cfg.core_specs().into_iter().enumerate() {
@@ -133,7 +117,7 @@ impl FleetRunner {
                 .seed(spec.seed)
                 .input_set(cfg.input_set)
                 .build()?;
-            let mut gov = factory(idx, &spec);
+            let gov = factory(idx, &spec);
             if gov.num_inputs() != plant.num_inputs() {
                 return Err(FleetError::InvalidConfig {
                     what: format!(
@@ -143,19 +127,14 @@ impl FleetRunner {
                     ),
                 });
             }
-            gov.set_targets(&base);
+            let mut lp = EpochLoop::new(gov, plant);
+            lp.set_targets(&base);
             cells.push(CoreCell {
                 idx,
                 spec,
-                gov,
-                plant,
-                y: Vector::zeros(2),
+                lp,
                 target: base.clone(),
-                epoch: 0,
-                warmup,
-                ips_err_sum: 0.0,
-                power_err_sum: 0.0,
-                err_samples: 0,
+                errs: TrackingErrorAccumulator::new(2, warmup),
             });
         }
         Ok(FleetRunner { cfg, cells })
@@ -235,7 +214,7 @@ impl FleetRunner {
                         {
                             let s = shared.lock().unwrap();
                             for cell in band.iter_mut() {
-                                cell.retarget(s.targets[cell.idx].clone());
+                                cell.retarget(&s.targets[cell.idx]);
                             }
                         }
                     }

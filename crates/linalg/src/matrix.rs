@@ -238,6 +238,82 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix-vector product `self * v` written into `out`, allocation-free.
+    ///
+    /// Bit-identical to [`Matrix::mul_vec`]: the same row-slice
+    /// zip-accumulate in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.cols()`
+    /// or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, v: &Vector, out: &mut Vector) -> Result<()> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "mul_vec_into",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "mul_vec_into",
+                lhs: self.shape(),
+                rhs: (out.len(), 1),
+            });
+        }
+        for i in 0..self.rows {
+            let row = self.row_slice(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v.as_slice()) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        Ok(())
+    }
+
+    /// Matrix product `self * rhs` written into `out`, allocation-free.
+    ///
+    /// Bit-identical to `&self * &rhs`: the same i-k-j accumulation order
+    /// including the zero-entry skip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the inner dimensions
+    /// differ or `out` is not `self.rows() x rhs.cols()`.
+    pub fn mul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "mul_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "mul_into",
+                lhs: (self.rows, rhs.cols),
+                rhs: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Copies the `rows x cols` block whose top-left corner is `(r0, c0)`.
     ///
     /// # Panics
@@ -643,6 +719,49 @@ mod tests {
         let v = Vector::from_slice(&[5.0, 6.0]);
         let got = a.mul_vec(&v).unwrap();
         assert_eq!(got.as_slice(), &[17.0, 39.0]);
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let a = Matrix::from_fn(3, 4, |i, j| ((i * 5 + j) as f64).sin());
+        let v = Vector::from_fn(4, |i| (i as f64 + 0.3).cos());
+        let want = a.mul_vec(&v).unwrap();
+        let mut got = Vector::zeros(3);
+        a.mul_vec_into(&v, &mut got).unwrap();
+        for i in 0..3 {
+            assert_eq!(got[i].to_bits(), want[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn mul_vec_into_shape_errors() {
+        let a = Matrix::identity(2);
+        let mut out = Vector::zeros(2);
+        assert!(a.mul_vec_into(&Vector::zeros(3), &mut out).is_err());
+        let mut short = Vector::zeros(1);
+        assert!(a.mul_vec_into(&Vector::zeros(2), &mut short).is_err());
+    }
+
+    #[test]
+    fn mul_into_matches_mul() {
+        let a = Matrix::from_fn(3, 2, |i, j| ((i * 3 + j) as f64).sin());
+        let b = Matrix::from_fn(2, 4, |i, j| ((i + j) as f64).cos());
+        let want = &a * &b;
+        let mut got = Matrix::filled(3, 4, f64::NAN);
+        a.mul_into(&b, &mut got).unwrap();
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn mul_into_shape_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut bad = Matrix::zeros(3, 3);
+        assert!(a.mul_into(&b, &mut bad).is_err());
+        let mut out = Matrix::zeros(2, 2);
+        assert!(a.mul_into(&Matrix::zeros(2, 2), &mut out).is_err());
     }
 
     #[test]

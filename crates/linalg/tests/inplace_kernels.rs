@@ -1,0 +1,144 @@
+//! Property tests: every in-place kernel is bit-identical to its
+//! allocating counterpart across random shapes and values.
+//!
+//! The epoch engine's zero-allocation guarantee only holds if the
+//! `*_into` kernels are drop-in replacements — not "numerically close"
+//! but producing the exact same f64 bit patterns, since the golden
+//! digests pin entire runs to the bit.
+
+use mimo_linalg::{Matrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with a mix of magnitudes,
+/// including exact zeros (the `mul` kernels skip zero entries, so zeros
+/// must be well represented to cover that branch).
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    (
+        proptest::collection::vec(-1e3..1e3f64, rows * cols),
+        proptest::collection::vec(0u8..4, rows * cols),
+    )
+        .prop_map(move |(vals, tags)| {
+            let data = vals
+                .iter()
+                .zip(&tags)
+                .map(|(&v, &t)| match t {
+                    0 => 0.0,
+                    1 => v * 1e-9,
+                    _ => v,
+                })
+                .collect();
+            Matrix::from_vec(rows, cols, data)
+        })
+}
+
+fn vector(len: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-1e3..1e3f64, len).prop_map(|v| Vector::from_slice(&v))
+}
+
+/// Shapes are drawn per case so the kernels see degenerate (1) through
+/// moderate (7) dimensions.
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=7, 1usize..=7, 1usize..=7)
+}
+
+fn assert_bits_eq(a: &Vector, b: &Vector) {
+    assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        assert_eq!(
+            a[i].to_bits(),
+            b[i].to_bits(),
+            "bit mismatch at {i}: {} vs {}",
+            a[i],
+            b[i]
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn mul_into_matches_mul((a, b) in dims().prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))) {
+        let (m, _) = a.shape();
+        let (_, n) = b.shape();
+        let expect = &a * &b;
+        let mut got = Matrix::zeros(m, n);
+        a.mul_into(&b, &mut got).unwrap();
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert_eq!(expect[(r, c)].to_bits(), got[(r, c)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec(a in matrix(5, 3), v in vector(3)) {
+        let expect = a.mul_vec(&v).unwrap();
+        let mut got = Vector::zeros(5);
+        a.mul_vec_into(&v, &mut got).unwrap();
+        assert_bits_eq(&expect, &got);
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec_wide(a in matrix(2, 7), v in vector(7)) {
+        let expect = a.mul_vec(&v).unwrap();
+        let mut got = Vector::zeros(2);
+        a.mul_vec_into(&v, &mut got).unwrap();
+        assert_bits_eq(&expect, &got);
+    }
+
+    #[test]
+    fn sub_into_matches_sub(a in vector(6), b in vector(6)) {
+        let expect = &a - &b;
+        let mut got = Vector::zeros(6);
+        a.sub_into(&b, &mut got);
+        assert_bits_eq(&expect, &got);
+    }
+
+    #[test]
+    fn axpy_matches_scale_then_add(x in vector(6), y in vector(6), alpha in -1e3..1e3f64) {
+        let expect = &y + &x.scale(alpha);
+        let mut got = y.clone();
+        got.axpy(alpha, &x);
+        assert_bits_eq(&expect, &got);
+    }
+
+    #[test]
+    fn copy_from_is_exact(src in vector(9)) {
+        let mut dst = Vector::zeros(9);
+        dst.copy_from(&src);
+        assert_bits_eq(&src, &dst);
+    }
+
+    #[test]
+    fn mul_into_overwrites_stale_output((m, k, n) in dims()) {
+        // The output buffer is reused across epochs: stale contents must
+        // never leak into the product.
+        let a = Matrix::zeros(m, k);
+        let b = Matrix::zeros(k, n);
+        let mut out = Matrix::from_vec(m, n, vec![42.0; m * n]);
+        a.mul_into(&b, &mut out).unwrap();
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert_eq!(out[(r, c)], 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn into_kernels_reject_shape_mismatches() {
+    let a = Matrix::zeros(2, 3);
+    let b = Matrix::zeros(4, 2);
+    let mut out = Matrix::zeros(2, 2);
+    assert!(a.mul_into(&b, &mut out).is_err());
+    let b = Matrix::zeros(3, 2);
+    let mut bad_out = Matrix::zeros(3, 2);
+    assert!(a.mul_into(&b, &mut bad_out).is_err());
+    let v = Vector::zeros(4);
+    let mut vo = Vector::zeros(2);
+    assert!(a.mul_vec_into(&v, &mut vo).is_err());
+    let v = Vector::zeros(3);
+    let mut vo = Vector::zeros(5);
+    assert!(a.mul_vec_into(&v, &mut vo).is_err());
+}

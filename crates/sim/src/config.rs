@@ -117,21 +117,34 @@ impl ActuatorGrid {
 }
 
 /// Frequency grid: 0.5 to 2.0 GHz in 0.1 GHz steps (16 settings).
-pub fn frequency_grid() -> ActuatorGrid {
-    ActuatorGrid::new(
-        "frequency_ghz",
-        (0..16).map(|i| 0.5 + 0.1 * i as f64).collect(),
-    )
+///
+/// Returns a shared static so per-epoch quantization never allocates.
+pub fn frequency_grid() -> &'static ActuatorGrid {
+    static GRID: std::sync::OnceLock<ActuatorGrid> = std::sync::OnceLock::new();
+    GRID.get_or_init(|| {
+        ActuatorGrid::new(
+            "frequency_ghz",
+            (0..16).map(|i| 0.5 + 0.1 * i as f64).collect(),
+        )
+    })
 }
 
 /// Cache-size grid, expressed as active L2 ways: {2, 4, 6, 8}.
-pub fn cache_grid() -> ActuatorGrid {
-    ActuatorGrid::new("l2_ways", vec![2.0, 4.0, 6.0, 8.0])
+///
+/// Returns a shared static so per-epoch quantization never allocates.
+pub fn cache_grid() -> &'static ActuatorGrid {
+    static GRID: std::sync::OnceLock<ActuatorGrid> = std::sync::OnceLock::new();
+    GRID.get_or_init(|| ActuatorGrid::new("l2_ways", vec![2.0, 4.0, 6.0, 8.0]))
 }
 
 /// ROB-size grid: 16 to 128 entries in 16-entry steps (8 settings).
-pub fn rob_grid() -> ActuatorGrid {
-    ActuatorGrid::new("rob_entries", (1..=8).map(|i| 16.0 * i as f64).collect())
+///
+/// Returns a shared static so per-epoch quantization never allocates.
+pub fn rob_grid() -> &'static ActuatorGrid {
+    static GRID: std::sync::OnceLock<ActuatorGrid> = std::sync::OnceLock::new();
+    GRID.get_or_init(|| {
+        ActuatorGrid::new("rob_entries", (1..=8).map(|i| 16.0 * i as f64).collect())
+    })
 }
 
 /// L1 ways paired with a given L2 way count — the paper gates both caches
@@ -165,10 +178,28 @@ impl InputSet {
     }
 
     /// The actuator grids, in input order (frequency, cache[, rob]).
-    pub fn grids(&self) -> Vec<ActuatorGrid> {
+    ///
+    /// The grids themselves are shared statics; only the spine `Vec` is
+    /// allocated, so this is cheap to call but still should be hoisted out
+    /// of per-epoch loops (use [`InputSet::grid`] there).
+    pub fn grids(&self) -> Vec<&'static ActuatorGrid> {
         match self {
             InputSet::FreqCache => vec![frequency_grid(), cache_grid()],
             InputSet::FreqCacheRob => vec![frequency_grid(), cache_grid(), rob_grid()],
+        }
+    }
+
+    /// The actuator grid for input `i`, allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn grid(&self, i: usize) -> &'static ActuatorGrid {
+        assert!(i < self.len(), "input index {i} out of range for {self:?}");
+        match i {
+            0 => frequency_grid(),
+            1 => cache_grid(),
+            _ => rob_grid(),
         }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Per epoch we compute cycles-per-instruction from first-order
 //! interval-analysis components (Karkhanis & Smith style, the same
-//! modeling tradition the paper cites as [28]):
+//! modeling tradition the paper cites as \[28\]):
 //!
 //! ```text
 //! CPI = CPI_base(ILP, issue width, ROB)

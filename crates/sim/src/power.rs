@@ -2,7 +2,7 @@
 //! power, and actuation overheads.
 //!
 //! The paper uses McPAT (integrated in ESESC) and CACTI 6.0, with DVFS
-//! pairs interpolated from published Cortex-A15 tables [39]. We reproduce
+//! pairs interpolated from published Cortex-A15 tables \[39\]. We reproduce
 //! the same *structure*:
 //!
 //! * `P_dyn = α · C_eff(config, IPC) · V² · f` per component,

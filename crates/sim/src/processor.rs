@@ -32,10 +32,80 @@ pub trait Plant {
     fn input_grids(&self) -> Vec<Vec<f64>>;
     /// Applies an actuation for one epoch and returns the measured outputs.
     fn apply(&mut self, u: &Vector) -> Vector;
+    /// Runs one epoch *holding the current configuration* and returns the
+    /// measured outputs — the first reading a controller sees before it
+    /// has issued any actuation.
+    fn observe(&mut self) -> Vector;
+    /// Applies an actuation for one epoch, writing the measured outputs
+    /// into `out` without allocating. The default forwards to
+    /// [`Plant::apply`]; hot-path plants override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.num_outputs()`.
+    fn apply_into(&mut self, u: &Vector, out: &mut Vector) {
+        out.copy_from(&self.apply(u));
+    }
     /// Whether the last epoch crossed a program phase boundary.
     fn phase_changed(&self) -> bool;
     /// Restarts the plant from its initial state.
     fn reset(&mut self);
+}
+
+/// Mutable references step the referenced plant.
+impl<P: Plant + ?Sized> Plant for &mut P {
+    fn num_inputs(&self) -> usize {
+        (**self).num_inputs()
+    }
+    fn num_outputs(&self) -> usize {
+        (**self).num_outputs()
+    }
+    fn input_grids(&self) -> Vec<Vec<f64>> {
+        (**self).input_grids()
+    }
+    fn apply(&mut self, u: &Vector) -> Vector {
+        (**self).apply(u)
+    }
+    fn observe(&mut self) -> Vector {
+        (**self).observe()
+    }
+    fn apply_into(&mut self, u: &Vector, out: &mut Vector) {
+        (**self).apply_into(u, out);
+    }
+    fn phase_changed(&self) -> bool {
+        (**self).phase_changed()
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+/// Boxed plants step the boxed plant.
+impl<P: Plant + ?Sized> Plant for Box<P> {
+    fn num_inputs(&self) -> usize {
+        (**self).num_inputs()
+    }
+    fn num_outputs(&self) -> usize {
+        (**self).num_outputs()
+    }
+    fn input_grids(&self) -> Vec<Vec<f64>> {
+        (**self).input_grids()
+    }
+    fn apply(&mut self, u: &Vector) -> Vector {
+        (**self).apply(u)
+    }
+    fn observe(&mut self) -> Vector {
+        (**self).observe()
+    }
+    fn apply_into(&mut self, u: &Vector, out: &mut Vector) {
+        (**self).apply_into(u, out);
+    }
+    fn phase_changed(&self) -> bool {
+        (**self).phase_changed()
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
 }
 
 /// One epoch's measured outputs plus bookkeeping.
@@ -356,10 +426,24 @@ impl Plant for Processor {
     }
 
     fn apply(&mut self, u: &Vector) -> Vector {
+        let mut out = Vector::zeros(2);
+        self.apply_into(u, &mut out);
+        out
+    }
+
+    fn observe(&mut self) -> Vector {
+        // One epoch at the current configuration provides the first reading.
+        let u = Vector::from_slice(&self.config.to_actuation(self.input_set));
+        self.apply(&u)
+    }
+
+    fn apply_into(&mut self, u: &Vector, out: &mut Vector) {
+        assert_eq!(out.len(), 2, "output dimension mismatch");
         let cfg = PlantConfig::from_actuation(u.as_slice(), self.input_set, &self.config)
             .unwrap_or(self.config);
         let obs = self.step_config(cfg);
-        Vector::from_slice(&[obs.ips_bips, obs.power_w])
+        out[0] = obs.ips_bips;
+        out[1] = obs.power_w;
     }
 
     fn phase_changed(&self) -> bool {

@@ -173,6 +173,34 @@ impl ChannelScaler {
         Vector::from_fn(norm.len(), |c| norm[c] * self.span[c] + self.offset[c])
     }
 
+    /// Maps a raw vector into normalized coordinates, writing into `out`
+    /// without allocating. Bit-identical to [`ChannelScaler::normalize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len()` or `out.len()` differs from the channel count.
+    pub fn normalize_into(&self, raw: &Vector, out: &mut Vector) {
+        assert_eq!(raw.len(), self.channels(), "channel count mismatch");
+        assert_eq!(out.len(), self.channels(), "channel count mismatch");
+        for c in 0..raw.len() {
+            out[c] = (raw[c] - self.offset[c]) / self.span[c];
+        }
+    }
+
+    /// Maps a normalized vector back to raw units, writing into `out`
+    /// without allocating. Bit-identical to [`ChannelScaler::denormalize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norm.len()` or `out.len()` differs from the channel count.
+    pub fn denormalize_into(&self, norm: &Vector, out: &mut Vector) {
+        assert_eq!(norm.len(), self.channels(), "channel count mismatch");
+        assert_eq!(out.len(), self.channels(), "channel count mismatch");
+        for c in 0..norm.len() {
+            out[c] = norm[c] * self.span[c] + self.offset[c];
+        }
+    }
+
     /// Normalizes a whole sequence.
     pub fn normalize_all(&self, raw: &[Vector]) -> Vec<Vector> {
         raw.iter().map(|v| self.normalize(v)).collect()
@@ -227,6 +255,22 @@ mod tests {
         assert_eq!(normed[1][0], 1.0);
         let back = s.denormalize_all(&normed);
         assert_eq!(back[1][0], 2.0);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_bitwise() {
+        let s = ChannelScaler::from_ranges(&[(0.5, 2.0), (16.0, 128.0)]);
+        let raw = Vector::from_slice(&[0.7, 48.0]);
+        let want_n = s.normalize(&raw);
+        let mut got_n = Vector::zeros(2);
+        s.normalize_into(&raw, &mut got_n);
+        let want_d = s.denormalize(&want_n);
+        let mut got_d = Vector::zeros(2);
+        s.denormalize_into(&got_n, &mut got_d);
+        for c in 0..2 {
+            assert_eq!(got_n[c].to_bits(), want_n[c].to_bits());
+            assert_eq!(got_d[c].to_bits(), want_d[c].to_bits());
+        }
     }
 
     #[test]

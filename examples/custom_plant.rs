@@ -63,6 +63,12 @@ impl Plant for ThermalPlant {
         Vector::from_slice(&[self.temps[0] + n0, self.temps[1] + n1])
     }
 
+    fn observe(&mut self) -> Vector {
+        // A sensor read without advancing the dynamics.
+        let (n0, n1) = (self.noise(), self.noise());
+        Vector::from_slice(&[self.temps[0] + n0, self.temps[1] + n1])
+    }
+
     fn phase_changed(&self) -> bool {
         false
     }

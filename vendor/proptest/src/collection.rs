@@ -27,7 +27,7 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
     }
 }
 
-/// Sizes acceptable to [`vec`]: an exact length or a half-open range.
+/// Sizes acceptable to [`vec()`]: an exact length or a half-open range.
 pub trait IntoSizeRange {
     /// Converts to `(min, max_exclusive)`.
     fn bounds(self) -> (usize, usize);

@@ -63,6 +63,16 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Maps generated values to a *strategy* and draws from it — the
+    /// dependent-generation combinator (e.g. draw dimensions, then draw a
+    /// matrix of that shape).
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -76,6 +86,20 @@ impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
 
     fn generate(&self, rng: &mut StdRng) -> T {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
