@@ -14,6 +14,7 @@ use mimo_core::engine::EpochLoop;
 use mimo_core::governor::MimoGovernor;
 use mimo_exp::setup;
 use mimo_linalg::Vector;
+use mimo_sim::fault::{FaultInjector, FaultPlan};
 use mimo_sim::InputSet;
 
 struct CountingAllocator;
@@ -78,10 +79,28 @@ fn main() {
         lp.step();
     });
 
+    // Same engine loop with the plant wrapped in an aggressive fault
+    // injector: epochs fault, degrade, and quarantine, and the error path
+    // must stay exactly as allocation-free as the healthy one.
+    let gov = MimoGovernor::new(design.controller.clone());
+    let plant = setup::plant("milc", InputSet::FreqCache, 6);
+    let injector = FaultInjector::new(plant, FaultPlan::transient(0.3, 3, 0xFA11));
+    let mut lp = EpochLoop::new(gov, injector);
+    lp.set_targets(&Vector::from_slice(&[2.8, 1.9]));
+    lp.prime();
+    for _ in 0..300 {
+        lp.step(); // warm: also fills the injector's active-fault list
+    }
+    let faulting_allocs = count(EPOCHS, || {
+        lp.step();
+    });
+    let faulted = lp.fault_epochs();
+
     println!("allocations per epoch over {EPOCHS} epochs:");
     println!("  lqg step (allocating API)   {step_allocs:.3}");
     println!("  lqg step_into (scratch)     {step_into_allocs:.3}");
     println!("  engine epoch (gov + plant)  {engine_allocs:.3}");
+    println!("  faulting engine epoch       {faulting_allocs:.3}  ({faulted} epochs faulted)");
     assert_eq!(
         step_into_allocs, 0.0,
         "scratch step must be allocation-free"
@@ -90,4 +109,9 @@ fn main() {
         engine_allocs, 0.0,
         "steady-state engine epoch must be allocation-free"
     );
+    assert_eq!(
+        faulting_allocs, 0.0,
+        "faulting engine epoch must be allocation-free"
+    );
+    assert!(faulted > 100, "fault process should have fired: {faulted}");
 }

@@ -88,6 +88,11 @@ pub struct DecoupledGovernor {
     ips_loop: LqgController,
     /// Frequency → power loop.
     power_loop: LqgController,
+    /// Single-element measurement/actuation scratch buffers so the hot
+    /// `decide_into` path never allocates.
+    y_scratch: Vector,
+    u_cache: Vector,
+    u_freq: Vector,
 }
 
 impl DecoupledGovernor {
@@ -97,6 +102,9 @@ impl DecoupledGovernor {
         DecoupledGovernor {
             ips_loop,
             power_loop,
+            y_scratch: Vector::zeros(1),
+            u_cache: Vector::zeros(1),
+            u_freq: Vector::zeros(1),
         }
     }
 
@@ -122,16 +130,30 @@ impl Governor for DecoupledGovernor {
 
     fn set_targets(&mut self, y0: &Vector) {
         // y0 = [IPS target, power target].
-        self.ips_loop.set_reference(&Vector::from_slice(&[y0[0]]));
-        self.power_loop.set_reference(&Vector::from_slice(&[y0[1]]));
+        self.y_scratch[0] = y0[0];
+        self.ips_loop.set_reference(&self.y_scratch);
+        self.y_scratch[0] = y0[1];
+        self.power_loop.set_reference(&self.y_scratch);
     }
 
-    fn decide(&mut self, y: &Vector, _phase_changed: bool) -> Vector {
+    fn decide(&mut self, y: &Vector, phase_changed: bool) -> Vector {
+        let mut out = Vector::zeros(2);
+        self.decide_into(y, phase_changed, &mut out)
+            .expect("DecoupledGovernor::decide received a non-finite measurement");
+        out
+    }
+
+    fn decide_into(&mut self, y: &Vector, _phase_changed: bool, out: &mut Vector) -> Result<()> {
+        crate::governor::screen_measurement(y)?;
         // Each loop sees only its own output; no coordination.
-        let cache = self.ips_loop.step(&Vector::from_slice(&[y[0]]));
-        let freq = self.power_loop.step(&Vector::from_slice(&[y[1]]));
+        self.y_scratch[0] = y[0];
+        self.ips_loop.step_into(&self.y_scratch, &mut self.u_cache);
+        self.y_scratch[0] = y[1];
+        self.power_loop.step_into(&self.y_scratch, &mut self.u_freq);
         // Actuation order matches InputSet::FreqCache: [frequency, cache].
-        Vector::from_slice(&[freq[0], cache[0]])
+        out[0] = self.u_freq[0];
+        out[1] = self.u_cache[0];
+        Ok(())
     }
 
     fn reset(&mut self) {

@@ -20,14 +20,21 @@ use mimo_sim::Plant;
 
 use crate::governor::Governor;
 
+mod outcome;
 mod schedule;
 mod summary;
 
+pub use outcome::{EpochCause, EpochError, StepOutcome};
 pub use schedule::{ReferenceStep, ScheduleCursor};
 pub use summary::{
     fleet_warmup, grid_step, rel_tracking_error, summarize, TrackingErrorAccumulator,
     TrackingStats, WARMUP_EPOCHS,
 };
+
+/// Consecutive failed epochs after which [`EpochLoop::step`] escalates
+/// from [`StepOutcome::Degraded`] to [`StepOutcome::Quarantined`].
+/// Overridable per loop via [`EpochLoop::set_quarantine_threshold`].
+pub const DEFAULT_QUARANTINE_THRESHOLD: u32 = 4;
 
 /// Drives one governor against one plant, epoch by epoch.
 ///
@@ -48,11 +55,29 @@ pub struct EpochLoop<G: Governor, P: Plant> {
     y: Vector,
     /// Actuation buffer, rewritten every epoch.
     u: Vector,
+    /// Last healthy measurement, restored into `y` on faulted epochs so
+    /// downstream consumers (history, fleet observations) stay finite.
+    y_good: Vector,
+    /// Last healthy actuation, restored into `u` on faulted epochs.
+    u_good: Vector,
     /// Actuator grids, captured once at construction.
     grids: Vec<Vec<f64>>,
     u_hist: Vec<Vector>,
     y_hist: Vec<Vector>,
     record: bool,
+    /// Epochs stepped (including faulted ones).
+    epoch: u64,
+    /// Fleet core id stamped into [`EpochError`]s, if any.
+    core: Option<usize>,
+    /// Current streak of failed epochs.
+    consecutive_faults: u32,
+    /// Total failed epochs over the loop's lifetime.
+    fault_epochs: u64,
+    /// Streak length at which faults escalate to quarantine.
+    quarantine_threshold: u32,
+    quarantined: bool,
+    /// Epoch at which the loop first quarantined.
+    quarantine_epoch: Option<u64>,
 }
 
 impl<G: Governor, P: Plant> EpochLoop<G, P> {
@@ -74,6 +99,8 @@ impl<G: Governor, P: Plant> EpochLoop<G, P> {
         let u = Vector::zeros(plant.num_inputs());
         let grids = plant.input_grids();
         EpochLoop {
+            y_good: y.clone(),
+            u_good: u.clone(),
             gov,
             plant,
             y,
@@ -82,6 +109,13 @@ impl<G: Governor, P: Plant> EpochLoop<G, P> {
             u_hist: Vec::new(),
             y_hist: Vec::new(),
             record: false,
+            epoch: 0,
+            core: None,
+            consecutive_faults: 0,
+            fault_epochs: 0,
+            quarantine_threshold: DEFAULT_QUARANTINE_THRESHOLD,
+            quarantined: false,
+            quarantine_epoch: None,
         }
     }
 
@@ -89,12 +123,18 @@ impl<G: Governor, P: Plant> EpochLoop<G, P> {
     /// current configuration (the experiment-runner convention).
     pub fn prime(&mut self) {
         self.y = self.plant.observe();
+        if self.y.all_finite() {
+            self.y_good.copy_from(&self.y);
+        }
     }
 
     /// Seeds the measurement buffer from outputs obtained externally
     /// (e.g. an optimizer's own priming epochs).
     pub fn seed_outputs(&mut self, y: &Vector) {
         self.y.copy_from(y);
+        if self.y.all_finite() {
+            self.y_good.copy_from(&self.y);
+        }
     }
 
     /// Forwards reference targets to the governor.
@@ -112,17 +152,76 @@ impl<G: Governor, P: Plant> EpochLoop<G, P> {
 
     /// Runs one epoch: the governor consumes the previous measurement and
     /// the plant's phase flag, the plant applies the decided actuation,
-    /// and the fresh measurement is returned (and recorded when history
-    /// is enabled).
-    pub fn step(&mut self) -> &Vector {
-        let phase = self.plant.phase_changed();
-        self.gov.decide_into(&self.y, phase, &mut self.u);
-        self.plant.apply_into(&self.u, &mut self.y);
-        if self.record {
-            self.u_hist.push(self.u.clone());
-            self.y_hist.push(self.y.clone());
+    /// and the fresh measurement lands in [`EpochLoop::outputs`] (and the
+    /// history when recording is enabled).
+    ///
+    /// Every epoch is screened at the two trust boundaries: the actuation
+    /// leaving the governor and the measurement leaving the plant must be
+    /// finite. On any failure the measurement and actuation buffers are
+    /// restored to their last healthy values (so `outputs()` and the
+    /// recorded history never carry NaN/Inf), the failure streak is
+    /// counted, and the verdict reports [`StepOutcome::Degraded`] — or
+    /// [`StepOutcome::Quarantined`] once the streak reaches the
+    /// quarantine threshold.
+    pub fn step(&mut self) -> StepOutcome {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        match self.try_epoch() {
+            Ok(()) => {
+                self.consecutive_faults = 0;
+                self.y_good.copy_from(&self.y);
+                self.u_good.copy_from(&self.u);
+                if self.record {
+                    self.u_hist.push(self.u.clone());
+                    self.y_hist.push(self.y.clone());
+                }
+                StepOutcome::Healthy
+            }
+            Err(cause) => {
+                self.u.copy_from(&self.u_good);
+                self.y.copy_from(&self.y_good);
+                self.fault_epochs += 1;
+                self.consecutive_faults = self.consecutive_faults.saturating_add(1);
+                if self.record {
+                    self.u_hist.push(self.u.clone());
+                    self.y_hist.push(self.y.clone());
+                }
+                let error = EpochError {
+                    epoch,
+                    core: self.core,
+                    cause,
+                };
+                if self.quarantined || self.consecutive_faults >= self.quarantine_threshold {
+                    if !self.quarantined {
+                        self.quarantined = true;
+                        self.quarantine_epoch = Some(epoch);
+                    }
+                    StepOutcome::Quarantined(error)
+                } else {
+                    StepOutcome::Degraded(error)
+                }
+            }
         }
-        &self.y
+    }
+
+    /// The fallible decide → screen → apply → screen pipeline of one
+    /// epoch. On error the buffers may hold partial values; `step`
+    /// restores them from the last-good copies.
+    fn try_epoch(&mut self) -> Result<(), EpochCause> {
+        let phase = self.plant.phase_changed();
+        self.gov
+            .decide_into(&self.y, phase, &mut self.u)
+            .map_err(EpochCause::Governor)?;
+        if let Some(channel) = self.u.iter().position(|v| !v.is_finite()) {
+            return Err(EpochCause::NonFiniteActuation { channel });
+        }
+        self.plant
+            .apply_into(&self.u, &mut self.y)
+            .map_err(EpochCause::Plant)?;
+        if let Some(channel) = self.y.iter().position(|v| !v.is_finite()) {
+            return Err(EpochCause::NonFiniteMeasurement { channel });
+        }
+        Ok(())
     }
 
     /// The most recent measurement.
@@ -153,6 +252,53 @@ impl<G: Governor, P: Plant> EpochLoop<G, P> {
     /// Mutably borrows the governor.
     pub fn governor_mut(&mut self) -> &mut G {
         &mut self.gov
+    }
+
+    /// The actuator grids captured from the plant at construction (e.g.
+    /// for building a fallback governor after a quarantine).
+    pub fn input_grids(&self) -> &[Vec<f64>] {
+        &self.grids
+    }
+
+    /// Stamps a fleet core id into every subsequent [`EpochError`].
+    pub fn set_core(&mut self, core: usize) {
+        self.core = Some(core);
+    }
+
+    /// Overrides the consecutive-failure streak at which `step` escalates
+    /// to [`StepOutcome::Quarantined`] (default
+    /// [`DEFAULT_QUARANTINE_THRESHOLD`]; clamped to at least 1).
+    pub fn set_quarantine_threshold(&mut self, streak: u32) {
+        self.quarantine_threshold = streak.max(1);
+    }
+
+    /// Epochs stepped so far, including faulted ones.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total failed epochs over the loop's lifetime.
+    pub fn fault_epochs(&self) -> u64 {
+        self.fault_epochs
+    }
+
+    /// Whether the loop is currently quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// The epoch at which the loop first quarantined, if it ever did.
+    pub fn quarantine_epoch(&self) -> Option<u64> {
+        self.quarantine_epoch
+    }
+
+    /// Clears the quarantine flag and failure streak — called after the
+    /// supervisor repairs the loop (e.g. swaps in a fallback governor).
+    /// Lifetime counters (`fault_epochs`, `quarantine_epoch`) are kept
+    /// for reporting.
+    pub fn reset_health(&mut self) {
+        self.quarantined = false;
+        self.consecutive_faults = 0;
     }
 
     /// Reduces the recorded history to [`TrackingStats`] against fixed
@@ -223,10 +369,12 @@ mod tests {
         assert_eq!(lp.outputs(), &Vector::zeros(2));
         lp.prime();
         assert_eq!(lp.outputs(), &Vector::from_slice(&[0.5, 0.5]));
-        let y = lp.step().clone();
-        assert_eq!(y, Vector::from_slice(&[1.0, 4.0]));
+        assert!(lp.step().is_healthy());
+        assert_eq!(lp.outputs(), &Vector::from_slice(&[1.0, 4.0]));
         assert_eq!(lp.last_input(), &Vector::from_slice(&[1.0, 4.0]));
         assert_eq!(lp.plant().epochs, 2);
+        assert_eq!(lp.epoch(), 1);
+        assert_eq!(lp.fault_epochs(), 0);
     }
 
     #[test]
@@ -269,5 +417,131 @@ mod tests {
     fn input_count_mismatch_panics() {
         let gov = FixedGovernor::new(Vector::from_slice(&[1.0]));
         let _ = EpochLoop::new(gov, Echo { epochs: 0 });
+    }
+
+    /// A plant that emits NaN on output 0 for epochs in `[from, to)`.
+    #[derive(Debug)]
+    struct NanWindow {
+        epochs: usize,
+        from: usize,
+        to: usize,
+    }
+
+    impl Plant for NanWindow {
+        fn num_inputs(&self) -> usize {
+            2
+        }
+
+        fn num_outputs(&self) -> usize {
+            2
+        }
+
+        fn input_grids(&self) -> Vec<Vec<f64>> {
+            vec![vec![0.0, 1.0, 2.0], vec![0.0, 4.0, 8.0]]
+        }
+
+        fn apply(&mut self, u: &Vector) -> Vector {
+            let faulted = self.epochs >= self.from && self.epochs < self.to;
+            self.epochs += 1;
+            if faulted {
+                Vector::from_slice(&[f64::NAN, u[1]])
+            } else {
+                u.clone()
+            }
+        }
+
+        fn observe(&mut self) -> Vector {
+            Vector::from_slice(&[0.5, 0.5])
+        }
+
+        fn phase_changed(&self) -> bool {
+            false
+        }
+
+        fn reset(&mut self) {
+            self.epochs = 0;
+        }
+    }
+
+    #[test]
+    fn faulted_epochs_degrade_then_quarantine_and_restore_buffers() {
+        let gov = FixedGovernor::new(Vector::from_slice(&[1.0, 4.0]));
+        let plant = NanWindow {
+            epochs: 0,
+            from: 2,
+            to: 2 + DEFAULT_QUARANTINE_THRESHOLD as usize,
+        };
+        let mut lp = EpochLoop::new(gov, plant);
+        lp.record_history(8);
+        assert!(lp.step().is_healthy());
+        assert!(lp.step().is_healthy());
+        let good = lp.outputs().clone();
+        // First three faults degrade; the fourth crosses the threshold.
+        for i in 0..DEFAULT_QUARANTINE_THRESHOLD - 1 {
+            let outcome = lp.step();
+            match outcome {
+                StepOutcome::Degraded(ref e) => {
+                    assert_eq!(e.epoch, 2 + u64::from(i));
+                    assert_eq!(e.core, None);
+                    assert_eq!(e.cause, EpochCause::NonFiniteMeasurement { channel: 0 });
+                }
+                other => panic!("expected Degraded, got {other:?}"),
+            }
+            // Buffers restored to the last healthy epoch.
+            assert_eq!(lp.outputs(), &good);
+        }
+        match lp.step() {
+            StepOutcome::Quarantined(e) => {
+                assert_eq!(e.epoch, 1 + u64::from(DEFAULT_QUARANTINE_THRESHOLD))
+            }
+            other => panic!("expected Quarantined, got {other:?}"),
+        }
+        assert!(lp.is_quarantined());
+        assert_eq!(
+            lp.quarantine_epoch(),
+            Some(1 + u64::from(DEFAULT_QUARANTINE_THRESHOLD))
+        );
+        assert_eq!(lp.fault_epochs(), u64::from(DEFAULT_QUARANTINE_THRESHOLD));
+        // The plant healed: the epoch itself succeeds, but the quarantine
+        // latch stays until the supervisor calls reset_health.
+        assert!(lp.step().is_healthy());
+        assert!(lp.is_quarantined());
+        lp.reset_health();
+        assert!(!lp.is_quarantined());
+        assert!(lp.step().is_healthy());
+        // History never recorded a NaN.
+        let (u_hist, y_hist) = lp.into_histories();
+        assert!(u_hist.iter().all(Vector::all_finite));
+        assert!(y_hist.iter().all(Vector::all_finite));
+    }
+
+    #[test]
+    fn core_id_is_stamped_into_errors() {
+        let gov = FixedGovernor::new(Vector::from_slice(&[1.0, 4.0]));
+        let plant = NanWindow {
+            epochs: 0,
+            from: 0,
+            to: 1,
+        };
+        let mut lp = EpochLoop::new(gov, plant);
+        lp.set_core(7);
+        match lp.step() {
+            StepOutcome::Degraded(e) => assert_eq!(e.core, Some(7)),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_actuation_is_caught_before_the_plant() {
+        let gov = FixedGovernor::new(Vector::from_slice(&[1.0, f64::INFINITY]));
+        let mut lp = EpochLoop::new(gov, Echo { epochs: 0 });
+        match lp.step() {
+            StepOutcome::Degraded(e) => {
+                assert_eq!(e.cause, EpochCause::NonFiniteActuation { channel: 1 });
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // The plant never saw the bad actuation.
+        assert_eq!(lp.plant().epochs, 0);
     }
 }

@@ -1,0 +1,186 @@
+//! Epoch failure taxonomy: what one `decide → apply` round can report.
+//!
+//! The engine screens the pipeline at its two trust boundaries — the
+//! actuation leaving the governor and the measurement leaving the plant —
+//! and wraps whatever goes wrong in an [`EpochError`] that pins down
+//! *when* (epoch index), *where* (core id, for fleet runs), and *why*
+//! ([`EpochCause`]). [`StepOutcome`] is the health verdict the caller
+//! acts on: keep going, tolerate, or pull the core out of rotation.
+//!
+//! None of these types carry floats, so they derive `PartialEq` without a
+//! NaN-equality footgun, and none of their constructors allocate on the
+//! paths the engine takes (the wrapped `ControlError`/`SimError` variants
+//! it produces are payload-free or carry plain integers), keeping faulting
+//! epochs as allocation-free as healthy ones.
+
+use std::error::Error;
+use std::fmt;
+
+use mimo_sim::SimError;
+
+use crate::error::ControlError;
+
+/// Why an epoch failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EpochCause {
+    /// The plant produced a NaN or infinite measurement (e.g. a faulted
+    /// sensor) on this output channel.
+    NonFiniteMeasurement {
+        /// Offending output channel.
+        channel: usize,
+    },
+    /// The governor produced a NaN or infinite actuation (e.g. a diverged
+    /// estimator) on this input channel.
+    NonFiniteActuation {
+        /// Offending input channel.
+        channel: usize,
+    },
+    /// The governor itself rejected the epoch.
+    Governor(ControlError),
+    /// The plant itself rejected the epoch.
+    Plant(SimError),
+}
+
+impl fmt::Display for EpochCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpochCause::NonFiniteMeasurement { channel } => {
+                write!(
+                    f,
+                    "plant emitted a non-finite measurement on channel {channel}"
+                )
+            }
+            EpochCause::NonFiniteActuation { channel } => {
+                write!(
+                    f,
+                    "governor emitted a non-finite actuation on channel {channel}"
+                )
+            }
+            EpochCause::Governor(e) => write!(f, "governor failed: {e}"),
+            EpochCause::Plant(e) => write!(f, "plant failed: {e}"),
+        }
+    }
+}
+
+/// A failed epoch: when, where, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochError {
+    /// Zero-based epoch index at which the failure occurred.
+    pub epoch: u64,
+    /// Fleet core id, when the loop runs inside a fleet (see
+    /// [`crate::engine::EpochLoop::set_core`]).
+    pub core: Option<usize>,
+    /// What went wrong.
+    pub cause: EpochCause,
+}
+
+impl fmt::Display for EpochError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.core {
+            Some(core) => write!(f, "epoch {} (core {core}): {}", self.epoch, self.cause),
+            None => write!(f, "epoch {}: {}", self.epoch, self.cause),
+        }
+    }
+}
+
+impl Error for EpochError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.cause {
+            EpochCause::Governor(e) => Some(e),
+            EpochCause::Plant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The health verdict of one [`crate::engine::EpochLoop::step`].
+///
+/// Deliberately **not** `#[must_use]`: throughput-oriented drivers that
+/// poll [`crate::engine::EpochLoop::outputs`] afterwards (the engine
+/// substitutes last-good values on faulted epochs, so the buffers are
+/// always finite) may ignore the verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOutcome {
+    /// The epoch completed; buffers hold fresh values.
+    Healthy,
+    /// The epoch failed but the loop is still in service; the measurement
+    /// and actuation buffers were restored to their last healthy values.
+    Degraded(EpochError),
+    /// The failure streak crossed the quarantine threshold (or the loop
+    /// was already quarantined); the caller should pull this loop out of
+    /// rotation or install a fallback governor.
+    Quarantined(EpochError),
+}
+
+impl StepOutcome {
+    /// Whether the epoch completed without any fault.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, StepOutcome::Healthy)
+    }
+
+    /// The error carried by a degraded or quarantined outcome.
+    pub fn error(&self) -> Option<&EpochError> {
+        match self {
+            StepOutcome::Healthy => None,
+            StepOutcome::Degraded(e) | StepOutcome::Quarantined(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_pins_epoch_and_core() {
+        let e = EpochError {
+            epoch: 17,
+            core: Some(3),
+            cause: EpochCause::NonFiniteMeasurement { channel: 1 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("epoch 17"), "{s}");
+        assert!(s.contains("core 3"), "{s}");
+        assert!(s.contains("channel 1"), "{s}");
+        let solo = EpochError { core: None, ..e };
+        assert!(!solo.to_string().contains("core"), "{solo}");
+    }
+
+    #[test]
+    fn source_chains_to_the_underlying_error() {
+        let e = EpochError {
+            epoch: 0,
+            core: None,
+            cause: EpochCause::Plant(SimError::NonFiniteActuation { channel: 0 }),
+        };
+        assert!(e.source().is_some());
+        let screened = EpochError {
+            epoch: 0,
+            core: None,
+            cause: EpochCause::NonFiniteActuation { channel: 0 },
+        };
+        assert!(screened.source().is_none());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        assert!(StepOutcome::Healthy.is_healthy());
+        assert!(StepOutcome::Healthy.error().is_none());
+        let err = EpochError {
+            epoch: 2,
+            core: None,
+            cause: EpochCause::NonFiniteActuation { channel: 0 },
+        };
+        let degraded = StepOutcome::Degraded(err.clone());
+        assert!(!degraded.is_healthy());
+        assert_eq!(degraded.error(), Some(&err));
+        assert!(StepOutcome::Quarantined(err).error().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<EpochError>();
+    }
+}

@@ -39,6 +39,13 @@ pub enum ControlError {
         /// Which check failed.
         what: String,
     },
+    /// A measurement fed to a governor was NaN or infinite. Consuming it
+    /// would permanently corrupt internal controller state (e.g. the
+    /// Kalman estimate), so the epoch is rejected instead.
+    NonFiniteMeasurement {
+        /// Index of the offending output channel.
+        channel: usize,
+    },
     /// An underlying identification failure.
     Sysid(SysidError),
     /// An underlying linear-algebra failure.
@@ -61,6 +68,9 @@ impl fmt::Display for ControlError {
                 write!(f, "infeasible reference: {what}")
             }
             ControlError::ValidationFailed { what } => write!(f, "validation failed: {what}"),
+            ControlError::NonFiniteMeasurement { channel } => {
+                write!(f, "measurement channel {channel} is NaN or infinite")
+            }
             ControlError::Sysid(e) => write!(f, "identification failure: {e}"),
             ControlError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }

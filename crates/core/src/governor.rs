@@ -7,7 +7,19 @@
 
 use mimo_linalg::Vector;
 
+use crate::error::ControlError;
 use crate::lqg::LqgController;
+
+/// Rejects measurements containing NaN or infinite entries. Stateful
+/// governors call this before consuming `y`, because folding a non-finite
+/// sample into controller state (a Kalman estimate, an integrator) would
+/// corrupt every subsequent decision.
+pub fn screen_measurement(y: &Vector) -> crate::Result<()> {
+    match y.iter().position(|v| !v.is_finite()) {
+        Some(channel) => Err(ControlError::NonFiniteMeasurement { channel }),
+        None => Ok(()),
+    }
+}
 
 /// A controller that is invoked once per epoch.
 pub trait Governor {
@@ -25,13 +37,27 @@ pub trait Governor {
     /// program phase boundary (some governors re-plan on it).
     fn decide(&mut self, y: &Vector, phase_changed: bool) -> Vector;
 
-    /// In-place variant of [`Governor::decide`]: writes the actuation into
-    /// `out` (which must have [`Governor::num_inputs`] elements). The
-    /// default forwards to `decide`; allocation-free governors override it
-    /// so the epoch hot loop performs no heap allocations. Implementations
-    /// must be bit-identical to `decide`.
-    fn decide_into(&mut self, y: &Vector, phase_changed: bool, out: &mut Vector) {
+    /// In-place, fallible variant of [`Governor::decide`]: writes the
+    /// actuation into `out` (which must have [`Governor::num_inputs`]
+    /// elements). The default forwards to `decide`; allocation-free
+    /// governors override it so the epoch hot loop performs no heap
+    /// allocations. On finite inputs implementations must be bit-identical
+    /// to `decide`.
+    ///
+    /// # Errors
+    ///
+    /// Stateful implementations return
+    /// [`ControlError::NonFiniteMeasurement`] when `y` contains NaN or
+    /// infinite entries (consuming one would corrupt controller state);
+    /// on error `out` and the governor's state are left untouched.
+    fn decide_into(
+        &mut self,
+        y: &Vector,
+        phase_changed: bool,
+        out: &mut Vector,
+    ) -> crate::Result<()> {
         out.copy_from(&self.decide(y, phase_changed));
+        Ok(())
     }
 
     /// Clears runtime state (not the design).
@@ -55,8 +81,13 @@ impl<G: Governor + ?Sized> Governor for &mut G {
         (**self).decide(y, phase_changed)
     }
 
-    fn decide_into(&mut self, y: &Vector, phase_changed: bool, out: &mut Vector) {
-        (**self).decide_into(y, phase_changed, out);
+    fn decide_into(
+        &mut self,
+        y: &Vector,
+        phase_changed: bool,
+        out: &mut Vector,
+    ) -> crate::Result<()> {
+        (**self).decide_into(y, phase_changed, out)
     }
 
     fn reset(&mut self) {
@@ -81,8 +112,13 @@ impl<G: Governor + ?Sized> Governor for Box<G> {
         (**self).decide(y, phase_changed)
     }
 
-    fn decide_into(&mut self, y: &Vector, phase_changed: bool, out: &mut Vector) {
-        (**self).decide_into(y, phase_changed, out);
+    fn decide_into(
+        &mut self,
+        y: &Vector,
+        phase_changed: bool,
+        out: &mut Vector,
+    ) -> crate::Result<()> {
+        (**self).decide_into(y, phase_changed, out)
     }
 
     fn reset(&mut self) {
@@ -119,8 +155,14 @@ impl Governor for FixedGovernor {
         self.actuation.clone()
     }
 
-    fn decide_into(&mut self, _y: &Vector, _phase_changed: bool, out: &mut Vector) {
+    fn decide_into(
+        &mut self,
+        _y: &Vector,
+        _phase_changed: bool,
+        out: &mut Vector,
+    ) -> crate::Result<()> {
         out.copy_from(&self.actuation);
+        Ok(())
     }
 
     fn reset(&mut self) {}
@@ -161,8 +203,15 @@ impl Governor for MimoGovernor {
         self.ctrl.step(y)
     }
 
-    fn decide_into(&mut self, y: &Vector, _phase_changed: bool, out: &mut Vector) {
+    fn decide_into(
+        &mut self,
+        y: &Vector,
+        _phase_changed: bool,
+        out: &mut Vector,
+    ) -> crate::Result<()> {
+        screen_measurement(y)?;
         self.ctrl.step_into(y, out);
+        Ok(())
     }
 
     fn reset(&mut self) {

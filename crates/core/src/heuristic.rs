@@ -36,29 +36,40 @@ impl SensitivityRanking {
     /// Inputs ranked by performance impact, highest first.
     pub fn perf_order(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.perf_impact.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.perf_impact[b]
-                .partial_cmp(&self.perf_impact[a])
-                .unwrap()
-        });
+        idx.sort_by(|&a, &b| self.perf_impact[b].total_cmp(&self.perf_impact[a]));
         idx
     }
 
     /// Inputs ranked by power impact, highest first.
     pub fn power_order(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.power_impact.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.power_impact[b]
-                .partial_cmp(&self.power_impact[a])
-                .unwrap()
-        });
+        idx.sort_by(|&a, &b| self.power_impact[b].total_cmp(&self.power_impact[a]));
         idx
+    }
+
+    /// A canned ranking for when profiling is impossible — e.g. installing
+    /// a fallback governor on a live, quarantined core. Frequency (input 0)
+    /// is assumed dominant, with the remaining knobs in index order; that
+    /// matches what [`profile_sensitivity`] measures on every training
+    /// workload for the paper's input sets.
+    pub fn frequency_first(num_inputs: usize) -> Self {
+        let impact: Vec<f64> = (0..num_inputs).map(|i| 1.0 / (i + 1) as f64).collect();
+        SensitivityRanking {
+            perf_impact: impact.clone(),
+            power_impact: impact,
+            order: (0..num_inputs).collect(),
+        }
     }
 }
 
 /// Profiles a plant's input sensitivities by sweeping each input from min
 /// to max with the others pinned at midrange, dwelling `settle` epochs at
 /// each end (like the ranking step of \[8\]).
+///
+/// # Panics
+///
+/// Panics if the plant reports an empty actuator grid (every real
+/// actuator has at least one setting).
 pub fn profile_sensitivity<P: Plant + ?Sized>(plant: &mut P, settle: usize) -> SensitivityRanking {
     let grids = plant.input_grids();
     let n = grids.len();
@@ -85,7 +96,9 @@ pub fn profile_sensitivity<P: Plant + ?Sized>(plant: &mut P, settle: usize) -> S
         u_lo[i] = grids[i][0];
         let (ips_lo, p_lo) = measure(plant, &u_lo);
         let mut u_hi = Vector::from_slice(&mid);
-        u_hi[i] = *grids[i].last().expect("nonempty");
+        // input_grids() never returns empty grids (every actuator has at
+        // least one setting), so the last element exists.
+        u_hi[i] = grids[i][grids[i].len() - 1];
         let (ips_hi, p_hi) = measure(plant, &u_hi);
         perf_impact[i] = (ips_hi - ips_lo).abs() / ips_lo.max(1e-9);
         power_impact[i] = (p_hi - p_lo).abs() / p_lo.max(1e-9);
@@ -94,7 +107,7 @@ pub fn profile_sensitivity<P: Plant + ?Sized>(plant: &mut P, settle: usize) -> S
     order.sort_by(|&a, &b| {
         let ca = perf_impact[a] + power_impact[a];
         let cb = perf_impact[b] + power_impact[b];
-        cb.partial_cmp(&ca).unwrap()
+        cb.total_cmp(&ca)
     });
     SensitivityRanking {
         perf_impact,
@@ -133,7 +146,14 @@ pub struct HeuristicTracker {
     /// Current grid index per input.
     idx: Vec<usize>,
     targets: Vector,
-    window: Vec<Vector>,
+    /// Running sum of the measurements in the current action window.
+    win_sum: Vector,
+    /// Number of measurements accumulated in `win_sum`.
+    win_n: usize,
+    /// Knob orders precomputed per `[class][objective]` (class: compute /
+    /// memory-bound; objective: power / perf) so the per-epoch rules never
+    /// allocate.
+    orders: [[Vec<usize>; 2]; 2],
     class: AppClass,
     classify_left: usize,
     classify_acc: (f64, f64, usize),
@@ -143,12 +163,30 @@ impl HeuristicTracker {
     /// Creates a tracker starting from the midrange configuration.
     pub fn new(grids: Vec<Vec<f64>>, ranking: SensitivityRanking, targets: Vector) -> Self {
         let idx = grids.iter().map(|g| g.len() / 2).collect();
+        // Cache (input 1) promoted to the front for memory-bound code.
+        let promote_cache = |mut order: Vec<usize>| {
+            if let Some(pos) = order.iter().position(|&i| i == 1) {
+                order.remove(pos);
+                order.insert(0, 1);
+            }
+            order
+        };
+        let orders = [
+            [ranking.power_order(), ranking.perf_order()],
+            [
+                promote_cache(ranking.power_order()),
+                promote_cache(ranking.perf_order()),
+            ],
+        ];
+        let win_sum = Vector::zeros(targets.len());
         HeuristicTracker {
             grids,
             ranking,
             idx,
             targets,
-            window: Vec::new(),
+            win_sum,
+            win_n: 0,
+            orders,
             class: AppClass::Compute,
             classify_left: CLASSIFY_EPOCHS,
             classify_acc: (0.0, 0.0, 0),
@@ -157,28 +195,21 @@ impl HeuristicTracker {
 
     /// The knob order the current class prescribes: compute code tunes the
     /// frequency first; memory-bound code leads with the cache.
-    fn class_order(&self, for_perf: bool) -> Vec<usize> {
-        let base = if for_perf {
-            self.ranking.perf_order()
-        } else {
-            self.ranking.power_order()
+    fn class_order(&self, for_perf: bool) -> &[usize] {
+        let class = match self.class {
+            AppClass::Compute => 0,
+            AppClass::MemoryBound => 1,
         };
-        match self.class {
-            AppClass::Compute => base,
-            AppClass::MemoryBound => {
-                // Cache (input 1) promoted to the front when present.
-                let mut order = base;
-                if let Some(pos) = order.iter().position(|&i| i == 1) {
-                    order.remove(pos);
-                    order.insert(0, 1);
-                }
-                order
-            }
-        }
+        &self.orders[class][usize::from(for_perf)]
     }
 
     fn actuation(&self) -> Vector {
         Vector::from_fn(self.grids.len(), |i| self.grids[i][self.idx[i]])
+    }
+
+    fn clear_window(&mut self) {
+        self.win_sum.fill(0.0);
+        self.win_n = 0;
     }
 
     /// Steps input `i` by `dir` grid positions, clamped; returns whether it
@@ -191,27 +222,15 @@ impl HeuristicTracker {
         self.idx[i] = next as usize;
         moved
     }
-}
 
-impl Governor for HeuristicTracker {
-    fn name(&self) -> &str {
-        "Heuristic"
-    }
-
-    fn num_inputs(&self) -> usize {
-        self.grids.len()
-    }
-
-    fn set_targets(&mut self, y0: &Vector) {
-        self.targets = y0.clone();
-    }
-
-    fn decide(&mut self, y: &Vector, phase_changed: bool) -> Vector {
+    /// The per-epoch rule evaluation shared by `decide` and `decide_into`:
+    /// consumes one measurement and possibly moves the grid indices.
+    fn update(&mut self, y: &Vector, phase_changed: bool) {
         if phase_changed {
             // Re-classify against the statically tuned cutoff.
             self.classify_left = CLASSIFY_EPOCHS;
             self.classify_acc = (0.0, 0.0, 0);
-            self.window.clear();
+            self.clear_window();
         }
         if self.classify_left > 0 {
             self.classify_left -= 1;
@@ -227,29 +246,35 @@ impl Governor for HeuristicTracker {
                     AppClass::Compute
                 };
             }
-            return self.actuation();
+            return;
         }
-        self.window.push(y.clone());
-        if self.window.len() < TRACK_WINDOW {
-            return self.actuation();
+        if self.win_sum.len() != y.len() {
+            // Output dimension changed under us; restart the window.
+            self.win_sum = Vector::zeros(y.len());
+            self.win_n = 0;
         }
-        let mut avg = Vector::zeros(y.len());
-        for v in &self.window {
-            avg += v;
+        self.win_sum += y;
+        self.win_n += 1;
+        if self.win_n < TRACK_WINDOW {
+            return;
         }
-        avg = avg.scale(1.0 / self.window.len() as f64);
-        self.window.clear();
+        let inv = 1.0 / self.win_n as f64;
+        let avg_ips = self.win_sum[0] * inv;
+        let avg_p = self.win_sum[1] * inv;
+        self.clear_window();
 
         let ips0 = self.targets[0].max(1e-9);
         let p0 = self.targets[1].max(1e-9);
-        let e_p = (avg[1] - p0) / p0; // >0: over power budget
-        let e_ips = (ips0 - avg[0]) / ips0; // >0: too slow
+        let e_p = (avg_p - p0) / p0; // >0: over power budget
+        let e_ips = (ips0 - avg_ips) / ips0; // >0: too slow
 
+        let n = self.grids.len();
         // Rule 1 (power is the critical output): over budget → step down the
         // strongest power knob (per the class-specialized order) that can
         // still move.
         if e_p > TRACK_DEADBAND {
-            for &i in &self.class_order(false) {
+            for k in 0..n {
+                let i = self.class_order(false)[k];
                 if self.nudge(i, -1) {
                     break;
                 }
@@ -258,7 +283,8 @@ impl Governor for HeuristicTracker {
             // Rule 2: too slow and power headroom available → step up the
             // strongest performance knob for this class.
             if e_p < -TRACK_DEADBAND {
-                for &i in &self.class_order(true) {
+                for k in 0..n {
+                    let i = self.class_order(true)[k];
                     if self.nudge(i, 1) {
                         break;
                     }
@@ -267,18 +293,63 @@ impl Governor for HeuristicTracker {
         } else if e_ips < -TRACK_DEADBAND && e_p < -TRACK_DEADBAND {
             // Rule 3: faster than needed with power to spare → trim the
             // weakest performance knob to save energy.
-            for &i in self.class_order(true).iter().rev() {
+            for k in (0..n).rev() {
+                let i = self.class_order(true)[k];
                 if self.nudge(i, -1) {
                     break;
                 }
             }
         }
+    }
+}
+
+impl HeuristicTracker {
+    /// Borrows the profiled ranking the rules were tuned from.
+    pub fn ranking(&self) -> &SensitivityRanking {
+        &self.ranking
+    }
+}
+
+impl Governor for HeuristicTracker {
+    fn name(&self) -> &str {
+        "Heuristic"
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.grids.len()
+    }
+
+    fn set_targets(&mut self, y0: &Vector) {
+        if self.targets.len() == y0.len() {
+            self.targets.copy_from(y0);
+        } else {
+            self.targets = y0.clone();
+        }
+    }
+
+    fn decide(&mut self, y: &Vector, phase_changed: bool) -> Vector {
+        self.update(y, phase_changed);
         self.actuation()
     }
 
+    fn decide_into(
+        &mut self,
+        y: &Vector,
+        phase_changed: bool,
+        out: &mut Vector,
+    ) -> crate::Result<()> {
+        self.update(y, phase_changed);
+        for i in 0..self.grids.len() {
+            out[i] = self.grids[i][self.idx[i]];
+        }
+        Ok(())
+    }
+
     fn reset(&mut self) {
-        self.idx = self.grids.iter().map(|g| g.len() / 2).collect();
-        self.window.clear();
+        for (i, g) in self.grids.iter().enumerate() {
+            self.idx[i] = g.len() / 2;
+        }
+        self.clear_window();
         self.class = AppClass::Compute;
         self.classify_left = CLASSIFY_EPOCHS;
         self.classify_acc = (0.0, 0.0, 0);
@@ -352,7 +423,7 @@ impl HeuristicOptimizer {
         loop {
             if self.feature_pos >= self.ranking.order.len() || self.tries >= self.max_tries {
                 self.done = true;
-                self.idx = self.best_idx.clone();
+                self.idx.copy_from_slice(&self.best_idx);
                 return;
             }
             let feat = self.ranking.order[self.feature_pos];
@@ -362,16 +433,44 @@ impl HeuristicOptimizer {
             let probes = [0, g_len / 2, g_len - 1];
             if self.candidate >= probes.len() {
                 // Move to the next ranked feature with the best so far fixed.
-                self.idx = self.best_idx.clone();
+                self.idx.copy_from_slice(&self.best_idx);
                 self.feature_pos += 1;
                 self.candidate = 0;
                 continue;
             }
-            self.idx = self.best_idx.clone();
+            self.idx.copy_from_slice(&self.best_idx);
             self.idx[feat] = probes[self.candidate];
             self.candidate += 1;
             self.tries += 1;
             return;
+        }
+    }
+
+    /// The per-epoch search step shared by `decide` and `decide_into`.
+    fn update(&mut self, y: &Vector, phase_changed: bool) {
+        if phase_changed {
+            self.reset();
+        }
+        if self.done {
+            return;
+        }
+        self.acc_ips += y[0];
+        self.acc_p += y[1];
+        self.acc_n += 1;
+        self.dwell += 1;
+        if self.dwell >= OPT_DWELL {
+            let ips = self.acc_ips / self.acc_n as f64;
+            let p = self.acc_p / self.acc_n as f64;
+            let score = self.metric.score(ips, p);
+            if score > self.best_score {
+                self.best_score = score;
+                self.best_idx.copy_from_slice(&self.idx);
+            }
+            self.dwell = 0;
+            self.acc_ips = 0.0;
+            self.acc_p = 0.0;
+            self.acc_n = 0;
+            self.advance_candidate();
         }
     }
 }
@@ -391,37 +490,29 @@ impl Governor for HeuristicOptimizer {
     }
 
     fn decide(&mut self, y: &Vector, phase_changed: bool) -> Vector {
-        if phase_changed {
-            self.reset();
-        }
-        if self.done {
-            return self.actuation();
-        }
-        self.acc_ips += y[0];
-        self.acc_p += y[1];
-        self.acc_n += 1;
-        self.dwell += 1;
-        if self.dwell >= OPT_DWELL {
-            let ips = self.acc_ips / self.acc_n as f64;
-            let p = self.acc_p / self.acc_n as f64;
-            let score = self.metric.score(ips, p);
-            if score > self.best_score {
-                self.best_score = score;
-                self.best_idx = self.idx.clone();
-            }
-            self.dwell = 0;
-            self.acc_ips = 0.0;
-            self.acc_p = 0.0;
-            self.acc_n = 0;
-            self.advance_candidate();
-        }
+        self.update(y, phase_changed);
         self.actuation()
     }
 
+    fn decide_into(
+        &mut self,
+        y: &Vector,
+        phase_changed: bool,
+        out: &mut Vector,
+    ) -> crate::Result<()> {
+        self.update(y, phase_changed);
+        for i in 0..self.grids.len() {
+            out[i] = self.grids[i][self.idx[i]];
+        }
+        Ok(())
+    }
+
     fn reset(&mut self) {
-        let mid: Vec<usize> = self.grids.iter().map(|g| g.len() / 2).collect();
-        self.idx = mid.clone();
-        self.best_idx = mid;
+        for (i, g) in self.grids.iter().enumerate() {
+            let mid = g.len() / 2;
+            self.idx[i] = mid;
+            self.best_idx[i] = mid;
+        }
         self.best_score = f64::NEG_INFINITY;
         self.feature_pos = 0;
         self.candidate = 0;

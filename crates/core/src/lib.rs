@@ -49,7 +49,7 @@ pub mod weights;
 
 mod error;
 
-pub use engine::EpochLoop;
+pub use engine::{EpochCause, EpochError, EpochLoop, StepOutcome};
 pub use error::ControlError;
 pub use governor::Governor;
 pub use lqg::LqgController;

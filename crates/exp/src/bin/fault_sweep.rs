@@ -1,0 +1,36 @@
+//! Fault sweep: transient fault rate × arbitration policy on a 16-core
+//! MIMO fleet, measuring tracking degradation, quarantines, and throughput.
+//!
+//! Usage: `fault_sweep [--epochs N]` (default: the full 600-epoch sweep).
+fn main() {
+    let mut cfg = mimo_exp::experiments::ExpConfig::full();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--epochs" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .expect("--epochs needs a positive integer");
+                cfg.tracking_epochs = n;
+            }
+            other => panic!("unknown argument {other:?}; usage: fault_sweep [--epochs N]"),
+        }
+    }
+    let points = mimo_exp::experiments::fault_sweep(&cfg).expect("fault_sweep");
+    for p in &points {
+        if p.fault_rate == 0.0 {
+            assert_eq!(
+                p.stats.fault_epochs, 0,
+                "zero-rate run faulted ({})",
+                p.stats.policy
+            );
+            assert_eq!(
+                p.stats.quarantined_cores, 0,
+                "zero-rate run quarantined cores ({})",
+                p.stats.policy
+            );
+        }
+    }
+    println!("done; results/fault_sweep.csv");
+}

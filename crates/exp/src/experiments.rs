@@ -856,6 +856,128 @@ pub fn fleet_scale(cfg: &ExpConfig) -> mimo_core::Result<Vec<FleetScalePoint>> {
     Ok(points)
 }
 
+// ---------------------------------------------------------------------------
+// Fault sweep — graceful degradation under injected faults
+// ---------------------------------------------------------------------------
+
+/// One fault-sweep data point: a transient fault rate × arbitration policy
+/// combination on a 16-core fleet.
+#[derive(Debug, Clone)]
+pub struct FaultSweepPoint {
+    /// Per-epoch transient fault probability injected on every core.
+    pub fault_rate: f64,
+    /// Fleet statistics for the run (includes quarantine bookkeeping).
+    pub stats: mimo_fleet::FleetStats,
+}
+
+/// Sweeps transient fault rates × arbitration policies on a 16-core MIMO
+/// fleet and reports how tracking error, quarantine counts, and throughput
+/// degrade as the fault process intensifies.
+///
+/// The zero-rate column doubles as a regression anchor: it must quarantine
+/// nothing and fault no epochs, because a zero rate leaves the fault
+/// injector completely transparent.
+///
+/// # Errors
+///
+/// Propagates controller-design failures; panics only on invalid fleet
+/// configuration, which the fixed sweep cannot produce.
+pub fn fault_sweep(cfg: &ExpConfig) -> mimo_core::Result<Vec<FaultSweepPoint>> {
+    use mimo_fleet::ArbitrationPolicy;
+
+    let design = setup::design_mimo(InputSet::FreqCache, cfg.seed)?;
+    let epochs = cfg.tracking_epochs.min(600);
+    let n = 16;
+    let rates = [0.0, 0.002, 0.01, 0.05];
+    let policies = [
+        ArbitrationPolicy::Uniform,
+        ArbitrationPolicy::Proportional,
+        ArbitrationPolicy::PriorityWeighted,
+    ];
+
+    let mut points = Vec::new();
+    for &rate in &rates {
+        for &policy in &policies {
+            let fleet_cfg = mimo_fleet::FleetConfig::new(n)
+                .workers(0)
+                .epochs(epochs)
+                .policy(policy)
+                .seed(cfg.seed)
+                .fault_rate(rate);
+            let stats =
+                mimo_fleet::FleetRunner::with_shared_controller(fleet_cfg, &design.controller)
+                    .expect("fleet config")
+                    .run();
+            points.push(FaultSweepPoint {
+                fault_rate: rate,
+                stats,
+            });
+        }
+    }
+
+    if cfg.emit {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                let s = &p.stats;
+                vec![
+                    report::fmt(p.fault_rate, 4),
+                    s.policy.clone(),
+                    s.epochs.to_string(),
+                    report::fmt(s.agg_ips_err_pct, 2),
+                    report::fmt(s.agg_power_err_pct, 2),
+                    report::fmt(s.avg_chip_power_w, 3),
+                    report::fmt(s.cap_violation_pct, 2),
+                    s.fault_epochs.to_string(),
+                    s.quarantined_cores.to_string(),
+                    report::fmt(s.epochs_per_sec, 0),
+                    format!("{:016x}", s.digest()),
+                ]
+            })
+            .collect();
+        let path = report::write_csv(
+            "fault_sweep.csv",
+            &[
+                "fault_rate",
+                "policy",
+                "epochs",
+                "ips_err_pct",
+                "power_err_pct",
+                "avg_chip_w",
+                "cap_violation_pct",
+                "fault_epochs",
+                "quarantined_cores",
+                "epochs_per_sec",
+                "digest",
+            ],
+            &rows,
+        );
+        if let Ok(p) = path {
+            println!("wrote {}", p.display());
+        }
+        let mut cmp = Vec::new();
+        for p in &points {
+            let s = &p.stats;
+            cmp.push(Comparison::new(
+                &format!("rate {} / {}", report::fmt(p.fault_rate, 4), s.policy),
+                if p.fault_rate == 0.0 {
+                    "0 faulted epochs, 0 quarantines"
+                } else {
+                    "completes; errors bounded"
+                },
+                &format!(
+                    "ips err {}%, {} faulted, {} quarantined",
+                    report::fmt(s.agg_ips_err_pct, 1),
+                    s.fault_epochs,
+                    s.quarantined_cores
+                ),
+            ));
+        }
+        println!("{}", report::comparison_table("Fault sweep", &cmp));
+    }
+    Ok(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,113 @@
+//! Property: no matter which workload a plant runs or which of the four
+//! Table IV architectures governs it, an [`EpochLoop`] under aggressive
+//! fault injection never exposes a NaN or infinite value — faulted epochs
+//! are rejected at the engine boundary and last-good values substituted.
+
+use mimo_core::governor::{FixedGovernor, Governor, MimoGovernor};
+use mimo_core::heuristic::HeuristicTracker;
+use mimo_core::EpochLoop;
+use mimo_exp::{setup, TARGET_IPS, TARGET_POWER};
+use mimo_linalg::Vector;
+use mimo_sim::fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+use mimo_sim::workload::catalog_names;
+use mimo_sim::{InputSet, ProcessorBuilder};
+
+const EPOCHS: usize = 120;
+
+/// An aggressive plan: a high-rate transient process plus scheduled NaN
+/// and stuck-actuator windows, so every run sees real corruption.
+fn hostile_plan(seed: u64) -> FaultPlan {
+    FaultPlan::transient(0.3, 3, seed)
+        .with_fault(FaultSpec {
+            kind: FaultKind::NanMeasurement { channel: 0 },
+            start_epoch: 20,
+            duration: 10,
+        })
+        .with_fault(FaultSpec {
+            kind: FaultKind::ActuatorStuckAt {
+                input: 0,
+                value: 1.3,
+            },
+            start_epoch: 50,
+            duration: 15,
+        })
+        .with_fault(FaultSpec {
+            kind: FaultKind::PowerSpike { factor: f64::NAN },
+            start_epoch: 80,
+            duration: 5,
+        })
+}
+
+fn drive(mut gov: Box<dyn Governor>, app: &str, arch: &str, seed: u64) -> u64 {
+    let plant = ProcessorBuilder::new()
+        .app(app)
+        .seed(seed)
+        .input_set(InputSet::FreqCache)
+        .build()
+        .expect("catalog app");
+    gov.set_targets(&Vector::from_slice(&[TARGET_IPS, TARGET_POWER]));
+    let injector = FaultInjector::new(plant, hostile_plan(seed ^ 0x5EED));
+    let mut lp = EpochLoop::new(gov, injector);
+    for epoch in 0..EPOCHS {
+        lp.step();
+        let finite = lp.outputs().iter().all(|v| v.is_finite())
+            && lp.last_input().iter().all(|v| v.is_finite());
+        assert!(
+            finite,
+            "{arch}/{app}: non-finite value escaped at epoch {epoch}: y = {:?}, u = {:?}",
+            lp.outputs(),
+            lp.last_input()
+        );
+    }
+    lp.fault_epochs()
+}
+
+#[test]
+fn no_architecture_leaks_non_finite_values_under_faults() {
+    let seed = 2016;
+    let design = setup::design_mimo(InputSet::FreqCache, seed).expect("design");
+    let decoupled = setup::decoupled_governor(seed).expect("decoupled");
+    let ranking = setup::heuristic_ranking(InputSet::FreqCache, seed);
+    let grids: Vec<Vec<f64>> = InputSet::FreqCache
+        .grids()
+        .iter()
+        .map(|g| g.values().to_vec())
+        .collect();
+    let target = Vector::from_slice(&[TARGET_IPS, TARGET_POWER]);
+
+    let apps = catalog_names();
+    assert_eq!(apps.len(), 28, "expected the full 28-workload catalog");
+
+    let mut total_faults = 0;
+    for (k, app) in apps.iter().enumerate() {
+        let seed_k = seed + k as u64;
+        let governors: Vec<(&str, Box<dyn Governor>)> = vec![
+            (
+                "mimo",
+                Box::new(MimoGovernor::new(design.controller.clone())),
+            ),
+            ("decoupled", Box::new(decoupled.clone())),
+            (
+                "heuristic",
+                Box::new(HeuristicTracker::new(
+                    grids.clone(),
+                    ranking.clone(),
+                    target.clone(),
+                )),
+            ),
+            (
+                "baseline",
+                Box::new(FixedGovernor::new(Vector::from_slice(&[1.3, 6.0]))),
+            ),
+        ];
+        for (arch, gov) in governors {
+            total_faults += drive(gov, app, arch, seed_k);
+        }
+    }
+    // The hostile plan must have actually corrupted epochs, or this test
+    // proves nothing.
+    assert!(
+        total_faults > 1000,
+        "expected widespread injected faults, saw {total_faults}"
+    );
+}

@@ -3,6 +3,7 @@
 
 use mimo_exp::setup;
 use mimo_fleet::{ArbitrationPolicy, FleetConfig, FleetRunner};
+use mimo_sim::fault::{FaultKind, FaultSpec};
 use mimo_sim::InputSet;
 
 fn run(workers: usize, policy: ArbitrationPolicy, cap_w: f64) -> mimo_fleet::FleetStats {
@@ -27,6 +28,92 @@ fn mimo_fleet_is_deterministic_across_worker_counts() {
     // Deterministic fields are populated, not trivially zero.
     assert!(one.energy_j > 0.0);
     assert!(one.avg_chip_power_w > 0.0);
+}
+
+#[test]
+fn faulted_fleet_is_deterministic_across_worker_counts() {
+    // Same seed must give the same transient fault sequence — and the same
+    // quarantine decisions — no matter how many workers step the cores.
+    let design = setup::design_mimo(InputSet::FreqCache, 2016).expect("design");
+    let run = |workers: usize| {
+        let cfg = FleetConfig::new(6)
+            .workers(workers)
+            .epochs(300)
+            .policy(ArbitrationPolicy::Proportional)
+            .chip_power_cap(7.2)
+            .seed(2016)
+            .fault_rate(0.05);
+        FleetRunner::with_shared_controller(cfg, &design.controller)
+            .expect("fleet")
+            .run()
+    };
+    let one = run(1);
+    let many = run(3);
+    // PartialEq covers the quarantine bookkeeping too, so this checks the
+    // fault + quarantine sequence bit for bit, not just the FP telemetry.
+    assert_eq!(one, many);
+    assert_eq!(one.digest(), many.digest());
+    assert!(
+        one.fault_epochs > 0,
+        "rate 0.05 over 1800 core-epochs: {one:?}"
+    );
+}
+
+#[test]
+fn nan_sensor_cores_are_quarantined_and_budget_is_respected() {
+    // The issue's acceptance scenario: a 16-core fleet where four cores'
+    // IPS sensors go permanently NaN mid-run. The fleet must complete,
+    // flag exactly those cores as quarantined, and keep chip power within
+    // the arbiter's budget.
+    let design = setup::design_mimo(InputSet::FreqCache, 2016).expect("design");
+    let bad_cores = [1, 5, 9, 13];
+    let mut cfg = FleetConfig::new(16)
+        .workers(4)
+        .epochs(300)
+        .policy(ArbitrationPolicy::Proportional)
+        .chip_power_cap(19.2)
+        .seed(2016);
+    for &core in &bad_cores {
+        cfg = cfg.core_fault(
+            core,
+            FaultSpec {
+                kind: FaultKind::NanMeasurement { channel: 0 },
+                start_epoch: 40,
+                duration: u64::MAX,
+            },
+        );
+    }
+    let stats = FleetRunner::with_shared_controller(cfg, &design.controller)
+        .expect("fleet")
+        .run();
+    assert_eq!(stats.quarantined_cores, bad_cores.len(), "{stats:?}");
+    for c in &stats.per_core {
+        let expected = bad_cores.contains(&c.core);
+        assert_eq!(c.quarantined, expected, "core {}: {c:?}", c.core);
+        if expected {
+            assert!(c.fault_epochs > 0, "{c:?}");
+            assert!(c.quarantine_epoch.is_some(), "{c:?}");
+        }
+    }
+    assert!(stats.fault_epochs > 0);
+    // The arbiter's power accounting (stale quarantined readings replaced
+    // by the pinned floor) must keep the chip within budget...
+    assert!(
+        stats.avg_chip_power_w <= stats.chip_cap_w,
+        "avg power {} exceeds cap {}",
+        stats.avg_chip_power_w,
+        stats.chip_cap_w
+    );
+    // ...and so must the ground-truth energy-derived power, up to the slack
+    // a blind core can leak: a quarantined plant's physical minimum may sit
+    // above the floor target its flying-blind fallback is asked to hold.
+    let actual: f64 = stats.per_core.iter().map(|c| c.avg_power_w).sum();
+    assert!(
+        actual <= 1.05 * stats.chip_cap_w,
+        "actual power {} exceeds cap {} by more than 5%",
+        actual,
+        stats.chip_cap_w
+    );
 }
 
 #[test]

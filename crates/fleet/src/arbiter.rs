@@ -127,8 +127,49 @@ impl BudgetArbiter {
     /// in core order, so the result is identical no matter how many worker
     /// threads produced the observations.
     pub fn arbitrate(&mut self, observed: &[CoreObs]) -> Vec<Vector> {
+        self.arbitrate_with_quarantine(observed, &[])
+    }
+
+    /// Like [`BudgetArbiter::arbitrate`], but pins every quarantined core
+    /// (marked `true` in `quarantined`, indexed by core; an empty slice
+    /// means none) at the floor power target and redistributes the freed
+    /// budget across the healthy cores per the policy. With no quarantined
+    /// cores this evaluates the exact floating-point operations of the
+    /// unmasked path, keeping fault-free runs bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed` (or a non-empty `quarantined`) does not have
+    /// one entry per core.
+    pub fn arbitrate_with_quarantine(
+        &mut self,
+        observed: &[CoreObs],
+        quarantined: &[bool],
+    ) -> Vec<Vector> {
         assert_eq!(observed.len(), self.n_cores(), "observation count");
-        let total: f64 = observed.iter().map(|o| o.power).sum();
+        assert!(
+            quarantined.is_empty() || quarantined.len() == self.n_cores(),
+            "quarantine mask length"
+        );
+        let n = self.n_cores() as f64;
+        let [base_ips, base_power] = self.base_targets;
+        let floor = MIN_TARGET_FRACTION * base_power;
+        let is_q = |i: usize| quarantined.get(i).copied().unwrap_or(false);
+        let n_quarantined = (0..self.n_cores()).filter(|&i| is_q(i)).count();
+
+        // A quarantined core's sensor is exactly what failed, so its entry
+        // in the observation table is a stale last-good reading. Chip power
+        // accounting substitutes the pinned floor target for those cores;
+        // with nothing quarantined this is the plain sum, bit for bit.
+        let total: f64 = if n_quarantined == 0 {
+            observed.iter().map(|o| o.power).sum()
+        } else {
+            observed
+                .iter()
+                .enumerate()
+                .map(|(i, o)| if is_q(i) { floor } else { o.power })
+                .sum()
+        };
         self.epochs += 1;
         self.power_sum += total;
         if total > self.peak_power {
@@ -138,31 +179,76 @@ impl BudgetArbiter {
             self.violations += 1;
         }
 
-        let n = self.n_cores() as f64;
-        let [base_ips, base_power] = self.base_targets;
-        let weight_sum: f64 = self.priorities.iter().sum();
+        if n_quarantined == 0 {
+            let weight_sum: f64 = self.priorities.iter().sum();
+            return observed
+                .iter()
+                .enumerate()
+                .map(|(i, obs)| {
+                    let budget = match self.policy {
+                        ArbitrationPolicy::Uniform => self.cap_w / n,
+                        ArbitrationPolicy::Proportional => {
+                            if total > 0.0 {
+                                self.cap_w * obs.power / total
+                            } else {
+                                self.cap_w / n
+                            }
+                        }
+                        ArbitrationPolicy::PriorityWeighted => {
+                            self.cap_w * self.priorities[i] / weight_sum
+                        }
+                    };
+                    // A core never asks for more than its nominal target; under
+                    // pressure it is throttled toward (but not below) the floor.
+                    let p_target = budget.clamp(floor, base_power);
+                    // Performance references scale with the granted power share
+                    // so the local loop chases a consistent (IPS, P) pair.
+                    let ips_target = base_ips * (p_target / base_power);
+                    Vector::from_slice(&[ips_target, p_target])
+                })
+                .collect();
+        }
+
+        // Degraded mode: quarantined cores are pinned at the floor (their
+        // fallback governors should coast, not chase an aggressive target)
+        // and the budget they free up is shared among the healthy cores.
+        let healthy_n = self.n_cores() - n_quarantined;
+        let healthy_cap = (self.cap_w - n_quarantined as f64 * floor).max(0.0);
+        let healthy_total: f64 = observed
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !is_q(i))
+            .map(|(_, o)| o.power)
+            .sum();
+        let healthy_weight_sum: f64 = self
+            .priorities
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !is_q(i))
+            .map(|(_, &w)| w)
+            .sum();
         observed
             .iter()
             .enumerate()
             .map(|(i, obs)| {
-                let budget = match self.policy {
-                    ArbitrationPolicy::Uniform => self.cap_w / n,
-                    ArbitrationPolicy::Proportional => {
-                        if total > 0.0 {
-                            self.cap_w * obs.power / total
-                        } else {
-                            self.cap_w / n
+                let p_target = if is_q(i) || healthy_n == 0 {
+                    floor
+                } else {
+                    let budget = match self.policy {
+                        ArbitrationPolicy::Uniform => healthy_cap / healthy_n as f64,
+                        ArbitrationPolicy::Proportional => {
+                            if healthy_total > 0.0 {
+                                healthy_cap * obs.power / healthy_total
+                            } else {
+                                healthy_cap / healthy_n as f64
+                            }
                         }
-                    }
-                    ArbitrationPolicy::PriorityWeighted => {
-                        self.cap_w * self.priorities[i] / weight_sum
-                    }
+                        ArbitrationPolicy::PriorityWeighted => {
+                            healthy_cap * self.priorities[i] / healthy_weight_sum
+                        }
+                    };
+                    budget.clamp(floor, base_power)
                 };
-                // A core never asks for more than its nominal target; under
-                // pressure it is throttled toward (but not below) the floor.
-                let p_target = budget.clamp(MIN_TARGET_FRACTION * base_power, base_power);
-                // Performance references scale with the granted power share
-                // so the local loop chases a consistent (IPS, P) pair.
                 let ips_target = base_ips * (p_target / base_power);
                 Vector::from_slice(&[ips_target, p_target])
             })
@@ -242,6 +328,55 @@ mod tests {
         assert_eq!(arb.violations(), 1);
         assert!((arb.avg_chip_power_w() - 2.0).abs() < 1e-12);
         assert!((arb.peak_chip_power_w() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantine_pins_floor_and_redistributes() {
+        let mut arb = BudgetArbiter::new(4.0, ArbitrationPolicy::Uniform, [3.0, 1.9], vec![1.0; 4]);
+        let t = arb.arbitrate_with_quarantine(&obs(&[1.0; 4]), &[true, false, false, false]);
+        let floor = 0.2 * 1.9;
+        assert!((t[0][1] - floor).abs() < 1e-12, "{:?}", t[0]);
+        // The freed budget flows to the three healthy cores.
+        let share = ((4.0 - floor) / 3.0).clamp(floor, 1.9);
+        for target in &t[1..] {
+            assert!((target[1] - share).abs() < 1e-12, "{target:?}");
+        }
+        // Quarantined IPS reference scales down with the power floor.
+        assert!(t[0][0] < t[1][0]);
+    }
+
+    #[test]
+    fn all_false_mask_is_bit_identical_to_unmasked() {
+        let powers = [1.7, 0.3, 0.9, 1.1];
+        for policy in [
+            ArbitrationPolicy::Uniform,
+            ArbitrationPolicy::Proportional,
+            ArbitrationPolicy::PriorityWeighted,
+        ] {
+            let pri = vec![2.0, 1.0, 1.0, 0.5];
+            let mut a = BudgetArbiter::new(3.3, policy, [3.0, 1.9], pri.clone());
+            let mut b = BudgetArbiter::new(3.3, policy, [3.0, 1.9], pri);
+            let ta = a.arbitrate(&obs(&powers));
+            let tb = b.arbitrate_with_quarantine(&obs(&powers), &[false; 4]);
+            for (x, y) in ta.iter().zip(&tb) {
+                assert_eq!(x[0].to_bits(), y[0].to_bits(), "{policy:?}");
+                assert_eq!(x[1].to_bits(), y[1].to_bits(), "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_quarantined_fleet_pins_everyone_at_floor() {
+        let mut arb = BudgetArbiter::new(
+            2.0,
+            ArbitrationPolicy::Proportional,
+            [3.0, 1.9],
+            vec![1.0; 2],
+        );
+        let t = arb.arbitrate_with_quarantine(&obs(&[1.0, 1.0]), &[true, true]);
+        for target in &t {
+            assert!((target[1] - 0.2 * 1.9).abs() < 1e-12, "{target:?}");
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Fleet configuration: how many cores, which applications, what budget.
 
+use mimo_sim::fault::FaultSpec;
 use mimo_sim::workload::{catalog_names, is_non_responsive, is_training};
 use mimo_sim::InputSet;
 
@@ -44,6 +45,13 @@ pub struct FleetConfig {
     /// Explicit per-core assignments. When shorter than `n_cores` (or
     /// empty), remaining cores draw responsive production apps round-robin.
     pub cores: Vec<CoreSpec>,
+    /// Per-epoch probability of a random transient fault on each core's
+    /// plant interface. `0.0` (the default) disables the transient process
+    /// entirely, keeping runs bit-identical to a fault-free fleet.
+    pub fault_rate: f64,
+    /// Scheduled faults, as `(core index, fault window)` pairs. Cores not
+    /// listed receive no scheduled faults.
+    pub core_faults: Vec<(usize, FaultSpec)>,
 }
 
 impl FleetConfig {
@@ -61,6 +69,8 @@ impl FleetConfig {
             base_targets: [3.0, 1.9],
             seed: 1,
             cores: Vec::new(),
+            fault_rate: 0.0,
+            core_faults: Vec::new(),
         }
     }
 
@@ -91,6 +101,19 @@ impl FleetConfig {
     /// Sets the base seed (builder style).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the transient fault rate (builder style).
+    pub fn fault_rate(mut self, rate: f64) -> Self {
+        self.fault_rate = rate;
+        self
+    }
+
+    /// Schedules a fault on one core (builder style; may be called
+    /// repeatedly to stack faults).
+    pub fn core_fault(mut self, core: usize, spec: FaultSpec) -> Self {
+        self.core_faults.push((core, spec));
         self
     }
 
@@ -125,6 +148,26 @@ impl FleetConfig {
         if self.cores.iter().any(|c| not_positive(c.priority)) {
             return Err(FleetError::InvalidConfig {
                 what: "core priorities must be positive".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.fault_rate) {
+            return Err(FleetError::InvalidConfig {
+                what: format!(
+                    "fault_rate = {} must be a probability in [0, 1]",
+                    self.fault_rate
+                ),
+            });
+        }
+        if let Some((core, _)) = self
+            .core_faults
+            .iter()
+            .find(|(core, _)| *core >= self.n_cores)
+        {
+            return Err(FleetError::InvalidConfig {
+                what: format!(
+                    "core_faults targets core {core}, but the fleet has {} cores",
+                    self.n_cores
+                ),
             });
         }
         Ok(())
@@ -235,6 +278,25 @@ mod tests {
         assert_eq!(FleetConfig::new(4).workers(16).effective_workers(), 4);
         assert_eq!(FleetConfig::new(4).workers(2).effective_workers(), 2);
         assert!(FleetConfig::new(64).workers(0).effective_workers() >= 1);
+    }
+
+    #[test]
+    fn fault_rate_must_be_a_probability() {
+        assert!(FleetConfig::new(2).fault_rate(0.5).validate().is_ok());
+        assert!(FleetConfig::new(2).fault_rate(-0.1).validate().is_err());
+        assert!(FleetConfig::new(2).fault_rate(1.5).validate().is_err());
+        assert!(FleetConfig::new(2).fault_rate(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn core_fault_indices_are_checked() {
+        let spec = FaultSpec {
+            kind: mimo_sim::fault::FaultKind::NanMeasurement { channel: 0 },
+            start_epoch: 0,
+            duration: 1,
+        };
+        assert!(FleetConfig::new(2).core_fault(1, spec).validate().is_ok());
+        assert!(FleetConfig::new(2).core_fault(5, spec).validate().is_err());
     }
 
     #[test]

@@ -22,10 +22,12 @@
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
-use mimo_core::engine::{fleet_warmup, EpochLoop, TrackingErrorAccumulator};
+use mimo_core::engine::{fleet_warmup, EpochLoop, StepOutcome, TrackingErrorAccumulator};
 use mimo_core::governor::{Governor, MimoGovernor};
+use mimo_core::heuristic::{HeuristicTracker, SensitivityRanking};
 use mimo_core::lqg::LqgController;
 use mimo_linalg::Vector;
+use mimo_sim::fault::{FaultInjector, FaultPlan};
 use mimo_sim::{Plant, Processor, ProcessorBuilder};
 
 use crate::arbiter::{BudgetArbiter, CoreObs};
@@ -33,41 +35,73 @@ use crate::config::{CoreSpec, FleetConfig};
 use crate::error::{FleetError, Result};
 use crate::stats::{CoreStats, FleetStats};
 
+/// Epoch length of each random transient fault injected by
+/// [`FleetConfig::fault_rate`].
+const TRANSIENT_FAULT_EPOCHS: u64 = 3;
+
 /// One core: a shared epoch engine around the plant/governor pair, plus
 /// accumulated error statistics.
 struct CoreCell {
     idx: usize,
     spec: CoreSpec,
-    lp: EpochLoop<Box<dyn Governor + Send>, Processor>,
+    lp: EpochLoop<Box<dyn Governor + Send>, FaultInjector<Processor>>,
     /// Reference active during the current epoch (set by arbitration at
     /// the end of the previous one).
     target: Vector,
     errs: TrackingErrorAccumulator,
+    /// Whether the heuristic fallback governor has replaced the original
+    /// (done once, on the first quarantine).
+    fallback_installed: bool,
 }
 
 impl CoreCell {
-    /// Runs one epoch and returns the measurement for the arbiter.
-    fn step(&mut self) -> CoreObs {
-        let y = self.lp.step();
+    /// Runs one epoch and returns the measurement for the arbiter plus
+    /// whether this epoch crossed into quarantine.
+    fn step(&mut self) -> (CoreObs, bool) {
+        let outcome = self.lp.step();
+        // On faulted epochs the engine substitutes the last healthy
+        // measurement, so the observation table stays finite.
+        let y = self.lp.outputs();
         let obs = CoreObs {
             ips: y[0],
             power: y[1],
         };
         self.errs.record(y, &self.target);
-        obs
+        (obs, matches!(outcome, StepOutcome::Quarantined(_)))
     }
 
-    /// Installs the arbitrated reference for the next epoch.
-    fn retarget(&mut self, t: &Vector) {
-        self.lp.set_targets(t);
-        self.target.copy_from(t);
+    /// Reacts to a quarantine verdict: the first time around, swap the
+    /// failing governor for the rule-based heuristic fallback (which
+    /// carries no internal model state to corrupt) and clear the engine's
+    /// failure latch so the fallback gets a chance. If the fallback itself
+    /// quarantines — a plant fault no governor can mask — the core simply
+    /// stays latched and the arbiter keeps it pinned at the floor budget.
+    fn handle_quarantine(&mut self) {
+        if self.fallback_installed {
+            return;
+        }
+        let grids = self.lp.input_grids().to_vec();
+        let ranking = SensitivityRanking::frequency_first(grids.len());
+        let fallback = HeuristicTracker::new(grids, ranking, self.target.clone());
+        *self.lp.governor_mut() = Box::new(fallback);
+        self.lp.set_targets(&self.target);
+        self.lp.reset_health();
+        self.fallback_installed = true;
+    }
+
+    /// Installs the arbiter's new reference for the next epoch.
+    fn retarget(&mut self, target: &Vector) {
+        self.target.copy_from(target);
+        self.lp.set_targets(target);
     }
 
     fn into_stats(self) -> CoreStats {
         let avg_ips_err_pct = self.errs.avg_pct(0);
         let avg_power_err_pct = self.errs.avg_pct(1);
+        let fault_epochs = self.lp.fault_epochs();
+        let quarantine_epoch = self.lp.quarantine_epoch();
         let (_, plant) = self.lp.into_parts();
-        let totals = plant.totals();
+        let totals = plant.inner().totals();
         CoreStats {
             core: self.idx,
             app: self.spec.app,
@@ -77,6 +111,9 @@ impl CoreCell {
             avg_power_w: totals.avg_power(),
             energy_j: totals.energy_j,
             instructions_g: totals.instructions_g,
+            fault_epochs,
+            quarantined: quarantine_epoch.is_some(),
+            quarantine_epoch,
         }
     }
 }
@@ -86,6 +123,9 @@ struct Shared {
     obs: Vec<CoreObs>,
     targets: Vec<Vector>,
     arbiter: BudgetArbiter,
+    /// Quarantine latch per core; once set, the arbiter pins that core at
+    /// the floor budget and redistributes the rest.
+    quarantined: Vec<bool>,
 }
 
 /// Runs a fleet of independently governed cores under one chip budget.
@@ -127,7 +167,27 @@ impl FleetRunner {
                     ),
                 });
             }
-            let mut lp = EpochLoop::new(gov, plant);
+            // Every plant is wrapped in a fault injector; with no faults
+            // configured the wrapper is transparent (no RNG draws), so
+            // fault-free fleets remain bit-identical to the bare runtime.
+            // The transient seed derives from the core's own seed, keeping
+            // the fault sequence independent of the worker count.
+            let mut plan = if cfg.fault_rate > 0.0 {
+                FaultPlan::transient(
+                    cfg.fault_rate,
+                    TRANSIENT_FAULT_EPOCHS,
+                    spec.seed.rotate_left(17) ^ 0xFA01_7B0C_5EED_F417,
+                )
+            } else {
+                FaultPlan::none()
+            };
+            for (core, fspec) in &cfg.core_faults {
+                if *core == idx {
+                    plan = plan.with_fault(*fspec);
+                }
+            }
+            let mut lp = EpochLoop::new(gov, FaultInjector::new(plant, plan));
+            lp.set_core(idx);
             lp.set_targets(&base);
             cells.push(CoreCell {
                 idx,
@@ -135,6 +195,7 @@ impl FleetRunner {
                 lp,
                 target: base.clone(),
                 errs: TrackingErrorAccumulator::new(2, warmup),
+                fallback_installed: false,
             });
         }
         Ok(FleetRunner { cfg, cells })
@@ -179,6 +240,7 @@ impl FleetRunner {
                 self.cfg.base_targets,
                 priorities,
             ),
+            quarantined: vec![false; n],
         });
         // chunks_mut may produce fewer chunks than requested workers when
         // n is small; the barrier must match the actual party count.
@@ -191,23 +253,36 @@ impl FleetRunner {
                 let shared = &shared;
                 let barrier = &barrier;
                 scope.spawn(move || {
-                    let mut local: Vec<CoreObs> = Vec::with_capacity(band.len());
+                    let mut local: Vec<(CoreObs, bool)> = Vec::with_capacity(band.len());
                     for _ in 0..epochs {
-                        // Beat 1: step this worker's cores.
+                        // Beat 1: step this worker's cores; react to fresh
+                        // quarantines by installing the fallback governor.
                         local.clear();
-                        local.extend(band.iter_mut().map(CoreCell::step));
+                        for cell in band.iter_mut() {
+                            let (obs, quarantined_now) = cell.step();
+                            if quarantined_now {
+                                cell.handle_quarantine();
+                            }
+                            // Report the live latch: a core the fallback
+                            // rescues regains budget; a permanently faulted
+                            // one re-latches and stays pinned at the floor.
+                            local.push((obs, cell.lp.is_quarantined()));
+                        }
                         {
                             let mut s = shared.lock().unwrap();
-                            for (cell, &o) in band.iter().zip(&local) {
+                            for (cell, &(o, q)) in band.iter().zip(&local) {
                                 s.obs[cell.idx] = o;
+                                s.quarantined[cell.idx] = q;
                             }
                         }
                         // Beat 2: leader arbitrates over the full table.
                         if barrier.wait().is_leader() {
                             let mut s = shared.lock().unwrap();
                             let obs = std::mem::take(&mut s.obs);
-                            s.targets = s.arbiter.arbitrate(&obs);
+                            let quarantined = std::mem::take(&mut s.quarantined);
+                            s.targets = s.arbiter.arbitrate_with_quarantine(&obs, &quarantined);
                             s.obs = obs;
+                            s.quarantined = quarantined;
                         }
                         // Beat 3: everyone installs the new references.
                         barrier.wait();
@@ -244,6 +319,8 @@ impl FleetRunner {
             agg_power_err_pct: per_core.iter().map(|c| c.avg_power_err_pct).sum::<f64>() / nf,
             energy_j: per_core.iter().map(|c| c.energy_j).sum(),
             instructions_g: per_core.iter().map(|c| c.instructions_g).sum(),
+            quarantined_cores: per_core.iter().filter(|c| c.quarantined).count(),
+            fault_epochs: per_core.iter().map(|c| c.fault_epochs).sum(),
             wall_s,
             epochs_per_sec: if wall_s > 0.0 {
                 epochs as f64 / wall_s

@@ -22,6 +22,13 @@ pub struct CoreStats {
     pub energy_j: f64,
     /// Instructions executed, billions.
     pub instructions_g: f64,
+    /// Epochs on which this core's pipeline faulted (the engine substituted
+    /// last-good values).
+    pub fault_epochs: u64,
+    /// Whether the core ever crossed the quarantine threshold.
+    pub quarantined: bool,
+    /// Epoch at which the core first quarantined, if it ever did.
+    pub quarantine_epoch: Option<u64>,
 }
 
 /// Whole-fleet statistics for one run.
@@ -59,6 +66,10 @@ pub struct FleetStats {
     pub energy_j: f64,
     /// Total instructions, billions.
     pub instructions_g: f64,
+    /// Cores that crossed the quarantine threshold during the run.
+    pub quarantined_cores: usize,
+    /// Total faulted epochs summed across cores.
+    pub fault_epochs: u64,
     /// Wall-clock duration of the epoch loop, seconds (not deterministic).
     pub wall_s: f64,
     /// Fleet epochs per second of wall clock (not deterministic).
@@ -82,6 +93,8 @@ impl PartialEq for FleetStats {
             && self.agg_power_err_pct == other.agg_power_err_pct
             && self.energy_j == other.energy_j
             && self.instructions_g == other.instructions_g
+            && self.quarantined_cores == other.quarantined_cores
+            && self.fault_epochs == other.fault_epochs
             && self.per_core == other.per_core
     }
 }
@@ -89,6 +102,11 @@ impl PartialEq for FleetStats {
 impl FleetStats {
     /// Order-independent digest of the deterministic fields (exact f64 bit
     /// patterns), for compact reproducibility checks in CSV output.
+    ///
+    /// The quarantine/fault bookkeeping is deliberately excluded: the
+    /// digest pins golden values recorded before the fault pipeline
+    /// existed, and fault-free runs must keep reproducing them bit for
+    /// bit. `PartialEq` does compare those fields.
     pub fn digest(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |v: u64| {
@@ -130,6 +148,8 @@ mod tests {
             agg_power_err_pct: 4.0,
             energy_j: 0.001,
             instructions_g: 0.02,
+            quarantined_cores: 0,
+            fault_epochs: 0,
             wall_s: 0.5,
             epochs_per_sec: 20.0,
             per_core: vec![CoreStats {
@@ -141,6 +161,9 @@ mod tests {
                 avg_power_w: 1.0,
                 energy_j: 0.0005,
                 instructions_g: 0.01,
+                fault_epochs: 0,
+                quarantined: false,
+                quarantine_epoch: None,
             }],
         }
     }
@@ -168,6 +191,21 @@ mod tests {
         let mut c = sample();
         c.per_core[0].avg_ips_err_pct += 0.25;
         assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn digest_is_stable_across_quarantine_bookkeeping() {
+        // The digest pins the pre-fault golden values; quarantine fields
+        // are compared by PartialEq but deliberately NOT mixed into the
+        // digest, so fault-free digests from older pins keep matching.
+        let a = sample();
+        let mut b = sample();
+        b.quarantined_cores = 1;
+        b.fault_epochs = 12;
+        b.per_core[0].quarantined = true;
+        b.per_core[0].quarantine_epoch = Some(40);
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a, b);
     }
 
     #[test]

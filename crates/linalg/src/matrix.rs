@@ -69,15 +69,21 @@ impl Matrix {
     ///
     /// # Panics
     ///
-    /// Panics if the rows have inconsistent lengths.
+    /// Panics on ragged input, naming the first offending row and both
+    /// lengths.
     pub fn from_rows(rows: &[&[f64]]) -> Self {
         if rows.is_empty() {
             return Self::zeros(0, 0);
         }
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
-        for row in rows {
-            assert_eq!(row.len(), cols, "all rows must have the same length");
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                cols,
+                "ragged input: row {i} has {} elements, but row 0 has {cols}",
+                row.len()
+            );
             data.extend_from_slice(row);
         }
         Matrix {
@@ -688,6 +694,12 @@ mod tests {
 
     fn abs_diff(a: &Matrix, b: &Matrix) -> f64 {
         (a - b).max_abs()
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged input: row 1 has 1 elements, but row 0 has 2")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
     }
 
     #[test]

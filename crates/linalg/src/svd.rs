@@ -228,7 +228,9 @@ fn jacobi_svd(a: &Matrix) -> Result<(Matrix, Vec<f64>, Matrix)> {
         }
         *s = norm2.sqrt();
     }
-    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    // total_cmp: singular values are non-negative finite here, but a NaN
+    // slipping through must not panic the sort.
+    order.sort_by(|&i, &j| sigma[j].total_cmp(&sigma[i]));
 
     let mut u_sorted = Matrix::zeros(m, n);
     let mut v_sorted = Matrix::zeros(n, n);

@@ -159,6 +159,11 @@ impl Vector {
         self.data.copy_from_slice(&src.data);
     }
 
+    /// Sets every element to `value`, allocation-free.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
     /// In-place scaled accumulation `self += alpha * x` (BLAS `axpy`),
     /// allocation-free.
     ///

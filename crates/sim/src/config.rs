@@ -61,7 +61,8 @@ impl ActuatorGrid {
 
     /// Largest allowed value.
     pub fn max(&self) -> f64 {
-        *self.values.last().expect("nonempty")
+        // The constructor rejects empty grids, so the last element exists.
+        self.values[self.values.len() - 1]
     }
 
     /// Midrange setting (the optimizer's §VI-B starting point).

@@ -24,6 +24,13 @@ pub enum SimError {
         /// Description of the invalid setting.
         what: String,
     },
+    /// An actuation entry was NaN or infinite. Non-finite commands cannot
+    /// be quantized meaningfully, so the plant rejects the epoch instead
+    /// of silently snapping to an arbitrary grid point.
+    NonFiniteActuation {
+        /// Index of the offending input channel.
+        channel: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +46,9 @@ impl fmt::Display for SimError {
                 write!(f, "actuation vector has {got} entries, expected {expected}")
             }
             SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            SimError::NonFiniteActuation { channel } => {
+                write!(f, "actuation channel {channel} is NaN or infinite")
+            }
         }
     }
 }

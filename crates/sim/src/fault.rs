@@ -1,0 +1,402 @@
+//! Deterministic fault injection around any [`Plant`].
+//!
+//! Real on-chip controllers spend most of their engineering budget on the
+//! *unhappy* path — sensors latch, ADCs return garbage, voltage regulators
+//! overshoot. The simulator's plant is too well behaved to exercise any of
+//! that, so [`FaultInjector`] wraps a plant and corrupts its interface the
+//! way real hardware does:
+//!
+//! * **Stuck sensor** — a measurement channel latches at its last healthy
+//!   reading and stops responding.
+//! * **NaN measurement** — a channel returns NaN (an unlocked PLL counter,
+//!   an uninitialized energy register).
+//! * **Actuator stuck-at** — an input channel ignores commands and stays
+//!   pinned at a fixed value.
+//! * **Power spike** — the power reading is multiplied by a transient
+//!   factor (a di/dt event or a regulator overshoot).
+//!
+//! Faults come from two sources: a **schedule** ([`FaultSpec`]) of
+//! explicitly placed windows, and a **transient process** that starts a
+//! short random fault each epoch with probability [`FaultPlan::rate`],
+//! driven by a dedicated seeded RNG. Both are deterministic: the same plan
+//! and seed produce the same fault sequence, epoch for epoch, which is what
+//! lets the fleet runtime keep its bit-identical-across-workers invariant
+//! with faults enabled.
+//!
+//! Bit-exactness contract: an injector with an empty schedule and zero
+//! transient rate is a transparent wrapper — it performs no RNG draws and
+//! forwards `apply_into` untouched, so fault-free runs reproduce the exact
+//! digests of the unwrapped plant. The steady-state epoch path performs no
+//! heap allocations, faulting or not.
+
+use mimo_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::processor::Plant;
+use crate::Result;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Output `channel` latches at its last healthy reading.
+    StuckSensor {
+        /// Faulted output channel.
+        channel: usize,
+    },
+    /// Output `channel` reads NaN.
+    NanMeasurement {
+        /// Faulted output channel.
+        channel: usize,
+    },
+    /// Input `input` ignores commands and stays at `value`.
+    ActuatorStuckAt {
+        /// Faulted input channel.
+        input: usize,
+        /// Value the actuator is pinned to.
+        value: f64,
+    },
+    /// The power reading (output channel 1) is multiplied by `factor`.
+    PowerSpike {
+        /// Multiplicative spike on the power channel.
+        factor: f64,
+    },
+}
+
+/// A scheduled fault window: `kind` is active for epochs
+/// `[start_epoch, start_epoch + duration)`. Use `duration = u64::MAX` for
+/// a permanent fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// First faulted epoch (0-based, counted by the injector).
+    pub start_epoch: u64,
+    /// Number of faulted epochs (saturating; `u64::MAX` = forever).
+    pub duration: u64,
+}
+
+impl FaultSpec {
+    /// Whether this spec is active at `epoch`.
+    fn active_at(&self, epoch: u64) -> bool {
+        epoch >= self.start_epoch && epoch - self.start_epoch < self.duration
+    }
+}
+
+/// The full fault configuration for one injector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Explicitly scheduled fault windows.
+    pub scheduled: Vec<FaultSpec>,
+    /// Per-epoch probability of starting a random transient fault.
+    /// `0.0` disables the transient process entirely (no RNG draws).
+    pub rate: f64,
+    /// Length of each random transient, in epochs.
+    pub transient_epochs: u64,
+    /// Seed for the transient process (independent of the plant's seed).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan: no scheduled faults, no transients. Wrapping a plant
+    /// with this plan is bit-exact pass-through.
+    pub fn none() -> Self {
+        FaultPlan {
+            scheduled: Vec::new(),
+            rate: 0.0,
+            transient_epochs: 0,
+            seed: 0,
+        }
+    }
+
+    /// A plan with only the random transient process enabled.
+    pub fn transient(rate: f64, transient_epochs: u64, seed: u64) -> Self {
+        FaultPlan {
+            scheduled: Vec::new(),
+            rate,
+            transient_epochs,
+            seed,
+        }
+    }
+
+    /// Adds a scheduled fault window (builder style).
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.scheduled.push(spec);
+        self
+    }
+
+    /// Whether the plan can never inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty() && self.rate <= 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Upper bound on concurrently active transient faults. New transients are
+/// skipped (deterministically) while the list is full, which keeps the
+/// active list allocation-free after construction.
+const MAX_ACTIVE_TRANSIENTS: usize = 8;
+
+/// Wraps any [`Plant`], corrupting actuations and measurements according
+/// to a deterministic [`FaultPlan`]. See the module docs for the fault
+/// model and the bit-exactness contract.
+#[derive(Debug, Clone)]
+pub struct FaultInjector<P: Plant> {
+    inner: P,
+    plan: FaultPlan,
+    rng: StdRng,
+    epoch: u64,
+    /// Active transient faults as `(kind, end_epoch)`.
+    active: Vec<(FaultKind, u64)>,
+    /// Last healthy (pre-fault) reading per output channel, for
+    /// [`FaultKind::StuckSensor`].
+    last_good: Vector,
+    /// Scratch actuation buffer for actuator faults.
+    u_scratch: Vector,
+    /// Epochs in which at least one fault corrupted the interface.
+    faulted_epochs: u64,
+}
+
+impl<P: Plant> FaultInjector<P> {
+    /// Wraps `inner` with `plan`.
+    pub fn new(inner: P, plan: FaultPlan) -> Self {
+        let last_good = Vector::zeros(inner.num_outputs());
+        let u_scratch = Vector::zeros(inner.num_inputs());
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector {
+            inner,
+            plan,
+            rng,
+            epoch: 0,
+            active: Vec::with_capacity(MAX_ACTIVE_TRANSIENTS),
+            last_good,
+            u_scratch,
+            faulted_epochs: 0,
+        }
+    }
+
+    /// Borrows the wrapped plant.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Mutably borrows the wrapped plant.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Unwraps the injector, returning the plant.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Epochs stepped so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epochs in which at least one fault corrupted the interface.
+    pub fn faulted_epochs(&self) -> u64 {
+        self.faulted_epochs
+    }
+
+    /// Draws this epoch's transient process and expires finished
+    /// transients. Zero-rate plans perform no RNG draws at all, keeping
+    /// the wrapper bit-exact.
+    fn advance_transients(&mut self) {
+        if self.plan.rate <= 0.0 {
+            return;
+        }
+        let epoch = self.epoch;
+        self.active.retain(|&(_, end)| epoch < end);
+        if self.rng.gen::<f64>() < self.plan.rate && self.active.len() < self.active.capacity() {
+            let kind = match self.rng.gen::<u64>() % 4 {
+                0 => FaultKind::StuckSensor {
+                    channel: (self.rng.gen::<u64>() % self.last_good.len().max(1) as u64) as usize,
+                },
+                1 => FaultKind::NanMeasurement {
+                    channel: (self.rng.gen::<u64>() % self.last_good.len().max(1) as u64) as usize,
+                },
+                2 => {
+                    let input =
+                        (self.rng.gen::<u64>() % self.u_scratch.len().max(1) as u64) as usize;
+                    FaultKind::ActuatorStuckAt {
+                        input,
+                        // Pinned at whatever the last command was; resolved
+                        // when the fault is applied.
+                        value: f64::NAN,
+                    }
+                }
+                _ => FaultKind::PowerSpike {
+                    factor: 1.5 + self.rng.gen::<f64>(),
+                },
+            };
+            let end = epoch.saturating_add(self.plan.transient_epochs.max(1));
+            self.active.push((kind, end));
+        }
+    }
+
+    /// Applies active actuator faults to `u`, writing the substituted
+    /// actuation into the scratch buffer. Returns `true` (scratch filled)
+    /// if at least one actuator fault fired.
+    fn faulted_input(&mut self, u: &Vector) -> bool {
+        let epoch = self.epoch;
+        let mut any = false;
+        for spec in &self.plan.scheduled {
+            if let FaultKind::ActuatorStuckAt { input, value } = spec.kind {
+                if spec.active_at(epoch) && input < self.u_scratch.len() {
+                    if !any {
+                        self.u_scratch.copy_from(u);
+                        any = true;
+                    }
+                    self.u_scratch[input] = value;
+                }
+            }
+        }
+        for i in 0..self.active.len() {
+            if let (FaultKind::ActuatorStuckAt { input, value }, _) = self.active[i] {
+                if input >= self.u_scratch.len() {
+                    continue;
+                }
+                if !any {
+                    self.u_scratch.copy_from(u);
+                    any = true;
+                }
+                if value.is_finite() {
+                    self.u_scratch[input] = value;
+                } else {
+                    // First activation of a transient stuck-at: latch the
+                    // knob at the current command so it stops responding
+                    // from here on rather than jumping somewhere new.
+                    let pinned = self.u_scratch[input];
+                    self.active[i].0 = FaultKind::ActuatorStuckAt {
+                        input,
+                        value: pinned,
+                    };
+                }
+            }
+        }
+        any
+    }
+
+    /// Applies active sensor faults to the fresh measurement in `out`.
+    /// Returns whether anything was corrupted.
+    fn corrupt_output(&mut self, out: &mut Vector) -> bool {
+        let epoch = self.epoch;
+        let mut any = false;
+        // Record the healthy reading before corruption so StuckSensor has
+        // a latch value even when it activates this very epoch.
+        let n = out.len();
+        let apply_kind = |kind: &FaultKind, out: &mut Vector, last_good: &Vector| match *kind {
+            FaultKind::StuckSensor { channel } if channel < n => {
+                out[channel] = last_good[channel];
+                true
+            }
+            FaultKind::NanMeasurement { channel } if channel < n => {
+                out[channel] = f64::NAN;
+                true
+            }
+            FaultKind::PowerSpike { factor } if n > 1 => {
+                out[1] *= factor;
+                true
+            }
+            _ => false,
+        };
+        for i in 0..n {
+            if out[i].is_finite() {
+                self.last_good[i] = out[i];
+            }
+        }
+        for spec in &self.plan.scheduled {
+            if spec.active_at(epoch) {
+                any |= apply_kind(&spec.kind, out, &self.last_good);
+            }
+        }
+        for (kind, _) in &self.active {
+            any |= apply_kind(kind, out, &self.last_good);
+        }
+        any
+    }
+}
+
+impl<P: Plant> Plant for FaultInjector<P> {
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+
+    fn input_grids(&self) -> Vec<Vec<f64>> {
+        self.inner.input_grids()
+    }
+
+    fn apply(&mut self, u: &Vector) -> Vector {
+        let mut out = Vector::zeros(self.inner.num_outputs());
+        self.apply_into(u, &mut out)
+            .expect("FaultInjector::apply received an invalid actuation");
+        out
+    }
+
+    fn observe(&mut self) -> Vector {
+        // Priming reads bypass fault accounting: the wrapped plant decides
+        // what a first reading looks like.
+        self.inner.observe()
+    }
+
+    fn apply_into(&mut self, u: &Vector, out: &mut Vector) -> Result<()> {
+        if self.plan.is_empty() {
+            // Transparent mode: identical call sequence to the bare plant.
+            let r = self.inner.apply_into(u, out);
+            if r.is_ok() {
+                self.epoch += 1;
+            }
+            return r;
+        }
+        self.advance_transients();
+        let in_faulted = self.faulted_input(u);
+        let r = if in_faulted {
+            // Move the scratch buffer out so `inner` can be borrowed
+            // mutably alongside it; no allocation (the placeholder is
+            // zero-length) and the buffer is put straight back.
+            let scratch = std::mem::replace(&mut self.u_scratch, Vector::zeros(0));
+            let r = self.inner.apply_into(&scratch, out);
+            self.u_scratch = scratch;
+            r
+        } else {
+            self.inner.apply_into(u, out)
+        };
+        if r.is_err() {
+            self.faulted_epochs += 1;
+            self.epoch += 1;
+            return r;
+        }
+        let out_faulted = self.corrupt_output(out);
+        if in_faulted || out_faulted {
+            self.faulted_epochs += 1;
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    fn phase_changed(&self) -> bool {
+        self.inner.phase_changed()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.rng = StdRng::seed_from_u64(self.plan.seed);
+        self.epoch = 0;
+        self.active.clear();
+        for i in 0..self.last_good.len() {
+            self.last_good[i] = 0.0;
+        }
+        self.faulted_epochs = 0;
+    }
+}

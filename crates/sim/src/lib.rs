@@ -43,6 +43,7 @@
 pub mod cache;
 pub mod config;
 pub mod corem;
+pub mod fault;
 pub mod power;
 pub mod processor;
 pub mod workload;
@@ -51,6 +52,7 @@ mod error;
 
 pub use config::{ActuatorGrid, InputSet, PlantConfig};
 pub use error::SimError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use processor::{Observation, Plant, Processor, ProcessorBuilder};
 
 /// Convenient result alias for simulator operations.

@@ -38,13 +38,24 @@ pub trait Plant {
     fn observe(&mut self) -> Vector;
     /// Applies an actuation for one epoch, writing the measured outputs
     /// into `out` without allocating. The default forwards to
-    /// [`Plant::apply`]; hot-path plants override it.
+    /// [`Plant::apply`] and always succeeds; hot-path plants override it.
+    /// Implementations must be bit-identical to `apply` on success and
+    /// must not allocate in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadActuation`] when `u` or `out` has the wrong
+    /// number of entries and [`SimError::NonFiniteActuation`] when an
+    /// actuation entry is NaN or infinite. On error the plant does not
+    /// advance and `out` is left untouched.
     ///
     /// # Panics
     ///
-    /// Panics if `out.len() != self.num_outputs()`.
-    fn apply_into(&mut self, u: &Vector, out: &mut Vector) {
+    /// The default implementation panics if `out.len() !=
+    /// self.num_outputs()` (via [`Vector::copy_from`]).
+    fn apply_into(&mut self, u: &Vector, out: &mut Vector) -> Result<()> {
         out.copy_from(&self.apply(u));
+        Ok(())
     }
     /// Whether the last epoch crossed a program phase boundary.
     fn phase_changed(&self) -> bool;
@@ -69,8 +80,8 @@ impl<P: Plant + ?Sized> Plant for &mut P {
     fn observe(&mut self) -> Vector {
         (**self).observe()
     }
-    fn apply_into(&mut self, u: &Vector, out: &mut Vector) {
-        (**self).apply_into(u, out);
+    fn apply_into(&mut self, u: &Vector, out: &mut Vector) -> Result<()> {
+        (**self).apply_into(u, out)
     }
     fn phase_changed(&self) -> bool {
         (**self).phase_changed()
@@ -97,8 +108,8 @@ impl<P: Plant + ?Sized> Plant for Box<P> {
     fn observe(&mut self) -> Vector {
         (**self).observe()
     }
-    fn apply_into(&mut self, u: &Vector, out: &mut Vector) {
-        (**self).apply_into(u, out);
+    fn apply_into(&mut self, u: &Vector, out: &mut Vector) -> Result<()> {
+        (**self).apply_into(u, out)
     }
     fn phase_changed(&self) -> bool {
         (**self).phase_changed()
@@ -425,9 +436,14 @@ impl Plant for Processor {
             .collect()
     }
 
+    /// # Panics
+    ///
+    /// Panics if the actuation is rejected (wrong length or non-finite
+    /// entries); fallible callers use [`Plant::apply_into`] instead.
     fn apply(&mut self, u: &Vector) -> Vector {
         let mut out = Vector::zeros(2);
-        self.apply_into(u, &mut out);
+        self.apply_into(u, &mut out)
+            .expect("Processor::apply received an invalid actuation");
         out
     }
 
@@ -437,13 +453,21 @@ impl Plant for Processor {
         self.apply(&u)
     }
 
-    fn apply_into(&mut self, u: &Vector, out: &mut Vector) {
-        assert_eq!(out.len(), 2, "output dimension mismatch");
-        let cfg = PlantConfig::from_actuation(u.as_slice(), self.input_set, &self.config)
-            .unwrap_or(self.config);
+    fn apply_into(&mut self, u: &Vector, out: &mut Vector) -> Result<()> {
+        if out.len() != 2 {
+            return Err(SimError::BadActuation {
+                got: out.len(),
+                expected: 2,
+            });
+        }
+        if let Some(channel) = u.iter().position(|v| !v.is_finite()) {
+            return Err(SimError::NonFiniteActuation { channel });
+        }
+        let cfg = PlantConfig::from_actuation(u.as_slice(), self.input_set, &self.config)?;
         let obs = self.step_config(cfg);
         out[0] = obs.ips_bips;
         out[1] = obs.power_w;
+        Ok(())
     }
 
     fn phase_changed(&self) -> bool {

@@ -1,0 +1,165 @@
+//! The workspace-level error taxonomy.
+//!
+//! Every crate in the workspace owns a focused error enum — matrices fail
+//! differently than Riccati iterations, which fail differently than fleet
+//! configuration. Application code stitching the layers together, however,
+//! wants one type to `?` through. [`Error`] is that type: a thin sum over
+//! the five per-crate enums plus the runtime [`EpochError`], with `From`
+//! conversions so any workspace `Result` propagates with `?` unchanged.
+//!
+//! ```
+//! use mimo_arch::sim::{InputSet, ProcessorBuilder};
+//!
+//! fn build() -> mimo_arch::Result<mimo_arch::sim::Processor> {
+//!     // SimError converts into mimo_arch::Error via `?`.
+//!     Ok(ProcessorBuilder::new()
+//!         .app("namd")
+//!         .input_set(InputSet::FreqCache)
+//!         .build()?)
+//! }
+//! # build().unwrap();
+//! ```
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use mimo_core::{ControlError, EpochError};
+use mimo_fleet::FleetError;
+use mimo_linalg::LinalgError;
+use mimo_sim::SimError;
+use mimo_sysid::SysidError;
+
+/// Any failure the workspace can produce, by originating layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Dense linear algebra failed (singular matrix, no convergence, …).
+    Linalg(LinalgError),
+    /// System identification failed (poor excitation, bad data, …).
+    Sysid(SysidError),
+    /// Controller design or operation failed (Riccati divergence,
+    /// infeasible reference, rejected measurement, …).
+    Control(ControlError),
+    /// The processor simulator rejected a configuration or an actuation.
+    Sim(SimError),
+    /// The fleet runtime rejected a configuration or failed to build.
+    Fleet(FleetError),
+    /// One epoch of a closed control loop faulted at runtime; carries the
+    /// epoch index, the core (in a fleet), and the root cause.
+    Epoch(EpochError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Linalg(e) => write!(f, "linalg: {e}"),
+            Error::Sysid(e) => write!(f, "sysid: {e}"),
+            Error::Control(e) => write!(f, "control: {e}"),
+            Error::Sim(e) => write!(f, "sim: {e}"),
+            Error::Fleet(e) => write!(f, "fleet: {e}"),
+            Error::Epoch(e) => write!(f, "epoch: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            Error::Sysid(e) => Some(e),
+            Error::Control(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Fleet(e) => Some(e),
+            Error::Epoch(e) => Some(e),
+        }
+    }
+}
+
+impl From<LinalgError> for Error {
+    fn from(e: LinalgError) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+impl From<SysidError> for Error {
+    fn from(e: SysidError) -> Self {
+        Error::Sysid(e)
+    }
+}
+
+impl From<ControlError> for Error {
+    fn from(e: ControlError) -> Self {
+        Error::Control(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<FleetError> for Error {
+    fn from(e: FleetError) -> Self {
+        Error::Fleet(e)
+    }
+}
+
+impl From<EpochError> for Error {
+    fn from(e: EpochError) -> Self {
+        Error::Epoch(e)
+    }
+}
+
+/// Convenient result alias over the workspace-level [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimo_core::EpochCause;
+
+    #[test]
+    fn every_layer_converts_with_question_mark() {
+        fn linalg() -> Result<()> {
+            Err(LinalgError::Singular)?
+        }
+        fn sysid() -> Result<()> {
+            Err(SysidError::PoorExcitation)?
+        }
+        fn control() -> Result<()> {
+            Err(ControlError::NonFiniteMeasurement { channel: 1 })?
+        }
+        fn sim() -> Result<()> {
+            Err(SimError::UnknownApp { name: "x".into() })?
+        }
+        fn fleet() -> Result<()> {
+            Err(FleetError::InvalidConfig { what: "x".into() })?
+        }
+        assert!(matches!(linalg(), Err(Error::Linalg(_))));
+        assert!(matches!(sysid(), Err(Error::Sysid(_))));
+        assert!(matches!(control(), Err(Error::Control(_))));
+        assert!(matches!(sim(), Err(Error::Sim(_))));
+        assert!(matches!(fleet(), Err(Error::Fleet(_))));
+    }
+
+    #[test]
+    fn epoch_errors_carry_their_context_through() {
+        let e = EpochError {
+            epoch: 41,
+            core: Some(3),
+            cause: EpochCause::NonFiniteMeasurement { channel: 0 },
+        };
+        let top: Error = e.into();
+        let msg = top.to_string();
+        assert!(msg.contains("epoch 41"), "{msg}");
+        assert!(msg.contains("core 3"), "{msg}");
+        assert!(top.source().is_some());
+    }
+
+    #[test]
+    fn display_prefixes_the_layer() {
+        let top: Error = LinalgError::Singular.into();
+        assert!(top.to_string().starts_with("linalg: "));
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`fleet`] — the many-core fleet runtime: per-core MIMO governors
 //!   stepped in lock-step epochs under a chip-level power-budget arbiter.
 //!
+//! The facade also defines the workspace-level [`Error`]/[`Result`] pair —
+//! one sum type over every layer's error enum, with `From` conversions so
+//! cross-layer application code can propagate any failure with `?`.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -40,6 +44,10 @@
 //! # Ok(())
 //! # }
 //! ```
+
+mod error;
+
+pub use error::{Error, Result};
 
 pub use mimo_core as core;
 pub use mimo_exp as exp;
