@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use mimo_core::engine::EpochLoop;
 use mimo_core::governor::MimoGovernor;
+use mimo_core::telemetry::{TelemetryConfig, TelemetrySink};
 use mimo_exp::setup;
 use mimo_linalg::Vector;
 use mimo_sim::fault::{FaultInjector, FaultPlan};
@@ -96,11 +97,29 @@ fn main() {
     });
     let faulted = lp.fault_epochs();
 
+    // The traced variant: a full ring-buffer telemetry sink observes every
+    // epoch. After the warm-up fills the ring, steady-state epochs only
+    // overwrite slots and bump fixed-size counters — still zero allocs.
+    let gov = MimoGovernor::new(design.controller.clone());
+    let plant = setup::plant("astar", InputSet::FreqCache, 6);
+    let sink = TelemetrySink::new(&TelemetryConfig::trace(128));
+    let mut lp = EpochLoop::new(gov, plant).with_observer(sink);
+    lp.set_targets(&Vector::from_slice(&[2.8, 1.9]));
+    lp.prime();
+    for _ in 0..300 {
+        lp.step(); // warm: also fills the trace ring to capacity
+    }
+    let observed_allocs = count(EPOCHS, || {
+        lp.step();
+    });
+    let traced = lp.observer().trace.len();
+
     println!("allocations per epoch over {EPOCHS} epochs:");
     println!("  lqg step (allocating API)   {step_allocs:.3}");
     println!("  lqg step_into (scratch)     {step_into_allocs:.3}");
     println!("  engine epoch (gov + plant)  {engine_allocs:.3}");
     println!("  faulting engine epoch       {faulting_allocs:.3}  ({faulted} epochs faulted)");
+    println!("  observed engine epoch       {observed_allocs:.3}  (ring holds {traced} records)");
     assert_eq!(
         step_into_allocs, 0.0,
         "scratch step must be allocation-free"
@@ -114,4 +133,9 @@ fn main() {
         "faulting engine epoch must be allocation-free"
     );
     assert!(faulted > 100, "fault process should have fired: {faulted}");
+    assert_eq!(
+        observed_allocs, 0.0,
+        "observed (telemetry-sink) engine epoch must be allocation-free"
+    );
+    assert_eq!(traced, 128, "trace ring must have filled to capacity");
 }

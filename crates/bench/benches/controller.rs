@@ -204,7 +204,7 @@ fn bench_fleet(c: &mut Criterion) {
                 let runner =
                     mimo_fleet::FleetRunner::with_shared_controller(cfg, &design.controller)
                         .unwrap();
-                black_box(runner.run().digest())
+                black_box(runner.run().unwrap().digest())
             })
         });
     }

@@ -19,6 +19,7 @@ use mimo_linalg::Vector;
 use mimo_sim::Plant;
 
 use crate::governor::Governor;
+use crate::telemetry::{CauseCode, EpochRecord, Health, NullObserver, Observer, RunSummary};
 
 mod outcome;
 mod schedule;
@@ -47,10 +48,17 @@ pub const DEFAULT_QUARANTINE_THRESHOLD: u32 = 4;
 /// their ownership model: the experiment runners lend `&mut dyn
 /// Governor` / `&mut Processor`, the fleet gives each core an owned
 /// `Box<dyn Governor + Send>` + `Processor`.
+///
+/// The third parameter is the telemetry [`Observer`], defaulting to
+/// [`NullObserver`] — a statically-disabled observer whose hooks
+/// monomorphize away, keeping the unobserved hot loop bit-identical to
+/// the pre-telemetry engine. Attach a real observer with
+/// [`EpochLoop::with_observer`].
 #[derive(Debug)]
-pub struct EpochLoop<G: Governor, P: Plant> {
+pub struct EpochLoop<G: Governor, P: Plant, O: Observer = NullObserver> {
     gov: G,
     plant: P,
+    obs: O,
     /// Last measured outputs, fed to the governor next epoch.
     y: Vector,
     /// Actuation buffer, rewritten every epoch.
@@ -103,6 +111,7 @@ impl<G: Governor, P: Plant> EpochLoop<G, P> {
             u_good: u.clone(),
             gov,
             plant,
+            obs: NullObserver,
             y,
             u,
             grids,
@@ -116,6 +125,41 @@ impl<G: Governor, P: Plant> EpochLoop<G, P> {
             quarantine_threshold: DEFAULT_QUARANTINE_THRESHOLD,
             quarantined: false,
             quarantine_epoch: None,
+        }
+    }
+}
+
+impl<G: Governor, P: Plant, O: Observer> EpochLoop<G, P, O> {
+    /// Replaces the loop's observer (consuming the loop, since the
+    /// observer is a type parameter), preserving all control and health
+    /// state. Typical use is attaching a
+    /// [`TelemetrySink`](crate::telemetry::TelemetrySink) right after
+    /// [`EpochLoop::new`]:
+    ///
+    /// ```ignore
+    /// let lp = EpochLoop::new(gov, plant)
+    ///     .with_observer(TelemetrySink::new(&TelemetryConfig::trace(256)));
+    /// ```
+    pub fn with_observer<O2: Observer>(self, obs: O2) -> EpochLoop<G, P, O2> {
+        EpochLoop {
+            gov: self.gov,
+            plant: self.plant,
+            obs,
+            y: self.y,
+            u: self.u,
+            y_good: self.y_good,
+            u_good: self.u_good,
+            grids: self.grids,
+            u_hist: self.u_hist,
+            y_hist: self.y_hist,
+            record: self.record,
+            epoch: self.epoch,
+            core: self.core,
+            consecutive_faults: self.consecutive_faults,
+            fault_epochs: self.fault_epochs,
+            quarantine_threshold: self.quarantine_threshold,
+            quarantined: self.quarantined,
+            quarantine_epoch: self.quarantine_epoch,
         }
     }
 
@@ -175,6 +219,9 @@ impl<G: Governor, P: Plant> EpochLoop<G, P> {
                     self.u_hist.push(self.u.clone());
                     self.y_hist.push(self.y.clone());
                 }
+                if self.obs.enabled() {
+                    self.observe_epoch(epoch, Health::Healthy, None);
+                }
                 StepOutcome::Healthy
             }
             Err(cause) => {
@@ -191,16 +238,60 @@ impl<G: Governor, P: Plant> EpochLoop<G, P> {
                     core: self.core,
                     cause,
                 };
-                if self.quarantined || self.consecutive_faults >= self.quarantine_threshold {
-                    if !self.quarantined {
-                        self.quarantined = true;
-                        self.quarantine_epoch = Some(epoch);
+                let escalate =
+                    self.quarantined || self.consecutive_faults >= self.quarantine_threshold;
+                let fresh_latch = escalate && !self.quarantined;
+                if fresh_latch {
+                    self.quarantined = true;
+                    // Keep the *first* latch epoch: a supervisor may
+                    // repair the loop with `reset_health` and the loop may
+                    // latch again, but the reported onset must not move.
+                    self.quarantine_epoch.get_or_insert(epoch);
+                }
+                if self.obs.enabled() {
+                    let health = if escalate {
+                        Health::Quarantined
+                    } else {
+                        Health::Degraded
+                    };
+                    self.observe_epoch(epoch, health, Some((&error.cause).into()));
+                    self.obs.on_fault(&error);
+                    if fresh_latch {
+                        self.obs.on_quarantine(&error);
                     }
+                }
+                if escalate {
                     StepOutcome::Quarantined(error)
                 } else {
                     StepOutcome::Degraded(error)
                 }
             }
+        }
+    }
+
+    /// Builds this epoch's [`EpochRecord`] on the stack and hands it to
+    /// the observer. Only called when the observer is enabled; the buffers
+    /// are already restored to last-good values on faulted epochs, so the
+    /// record never carries NaN/Inf.
+    #[inline]
+    fn observe_epoch(&mut self, epoch: u64, health: Health, cause: Option<CauseCode>) {
+        let rec = EpochRecord::capture(epoch, self.core, &self.u, &self.y, health, cause);
+        self.obs.on_epoch(&rec);
+    }
+
+    /// Declares the run over: hands an end-of-run [`RunSummary`] to the
+    /// observer (a no-op with the default [`NullObserver`]). Drivers call
+    /// this once after their final epoch; calling it again re-emits the
+    /// summary with the then-current counters.
+    pub fn finish(&mut self) {
+        if self.obs.enabled() {
+            let summary = RunSummary {
+                epochs: self.epoch,
+                fault_epochs: self.fault_epochs,
+                quarantined: self.quarantine_epoch.is_some(),
+                quarantine_epoch: self.quarantine_epoch,
+            };
+            self.obs.on_run_end(&summary);
         }
     }
 
@@ -252,6 +343,16 @@ impl<G: Governor, P: Plant> EpochLoop<G, P> {
     /// Mutably borrows the governor.
     pub fn governor_mut(&mut self) -> &mut G {
         &mut self.gov
+    }
+
+    /// Borrows the observer (e.g. to inspect a sink's metrics mid-run).
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// Mutably borrows the observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
     }
 
     /// The actuator grids captured from the plant at construction (e.g.
@@ -313,9 +414,9 @@ impl<G: Governor, P: Plant> EpochLoop<G, P> {
         (self.u_hist, self.y_hist)
     }
 
-    /// Consumes the loop, returning the governor and plant.
-    pub fn into_parts(self) -> (G, P) {
-        (self.gov, self.plant)
+    /// Consumes the loop, returning the governor, plant, and observer.
+    pub fn into_parts(self) -> (G, P, O) {
+        (self.gov, self.plant, self.obs)
     }
 }
 
@@ -543,5 +644,87 @@ mod tests {
         }
         // The plant never saw the bad actuation.
         assert_eq!(lp.plant().epochs, 0);
+    }
+
+    #[test]
+    fn observer_sees_every_epoch_fault_and_one_quarantine() {
+        use crate::telemetry::{TelemetryConfig, TelemetrySink};
+        let gov = FixedGovernor::new(Vector::from_slice(&[1.0, 4.0]));
+        let plant = NanWindow {
+            epochs: 0,
+            from: 2,
+            to: 2 + DEFAULT_QUARANTINE_THRESHOLD as usize + 2,
+        };
+        let mut lp = EpochLoop::new(gov, plant)
+            .with_observer(TelemetrySink::new(&TelemetryConfig::trace(64)));
+        lp.set_core(5);
+        for _ in 0..10 {
+            lp.step();
+        }
+        lp.finish();
+        let sink = lp.observer();
+        assert_eq!(sink.metrics.epochs, 10);
+        assert_eq!(sink.metrics.healthy_epochs, 4);
+        assert_eq!(sink.metrics.fault_epochs, 6);
+        assert_eq!(
+            sink.metrics.faults_by_cause[crate::telemetry::CauseCode::NonFiniteMeasurement.index()],
+            6
+        );
+        // The latch fires exactly once even though two more epochs fault
+        // while quarantined.
+        assert_eq!(sink.metrics.quarantines, 1);
+        let q = sink.quarantine.expect("quarantine event captured");
+        assert_eq!(q.epoch, 1 + u64::from(DEFAULT_QUARANTINE_THRESHOLD));
+        assert_eq!(q.core, Some(5));
+        assert_eq!(q.channel, Some(0));
+        let summary = sink.summary.expect("run summary emitted");
+        assert_eq!(summary.epochs, 10);
+        assert_eq!(summary.fault_epochs, 6);
+        assert!(summary.quarantined);
+        assert_eq!(summary.quarantine_epoch, lp.quarantine_epoch());
+        // The trace labels healthy/degraded/quarantined epochs in order,
+        // and faulted records carry the restored (finite) buffers.
+        let trace = lp.observer().trace.to_vec();
+        assert_eq!(trace.len(), 10);
+        let labels: Vec<&str> = trace.iter().map(|r| r.health.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "healthy",
+                "healthy",
+                "degraded",
+                "degraded",
+                "degraded",
+                "quarantined",
+                "quarantined",
+                "quarantined",
+                "healthy",
+                "healthy",
+            ]
+        );
+        assert!(trace
+            .iter()
+            .flat_map(|r| r.inputs().iter().chain(r.outputs()))
+            .all(|v| v.is_finite()));
+        // into_parts hands the observer back for draining.
+        let (_gov, _plant, sink) = lp.into_parts();
+        assert_eq!(sink.trace.len(), 10);
+    }
+
+    #[test]
+    fn with_observer_preserves_state_and_null_default_is_free() {
+        let gov = FixedGovernor::new(Vector::from_slice(&[1.0, 4.0]));
+        let mut lp = EpochLoop::new(gov, Echo { epochs: 0 });
+        assert!(!lp.observer().enabled());
+        lp.step();
+        lp.finish(); // no-op with the NullObserver default
+        let before = lp.outputs().clone();
+        // Swapping observers mid-run keeps epochs, buffers, and health.
+        let mut lp = lp.with_observer(crate::telemetry::RingTrace::with_capacity(4));
+        assert_eq!(lp.epoch(), 1);
+        assert_eq!(lp.outputs(), &before);
+        lp.step();
+        assert_eq!(lp.observer().len(), 1);
+        assert_eq!(lp.observer().iter().next().unwrap().epoch, 1);
     }
 }

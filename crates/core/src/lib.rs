@@ -27,6 +27,10 @@
 //! * [`engine`] — the unified epoch loop (decide → apply → record) that
 //!   every driver, from the experiment runners to the fleet runtime,
 //!   steps through; its hot path is allocation-free.
+//! * [`telemetry`] — allocation-free epoch tracing and metrics behind the
+//!   [`Observer`] API: ring-buffer traces, typed
+//!   counters/histograms, and JSONL/CSV exporters that drain outside the
+//!   hot loop.
 //! * [`design`] — the Figure 3 design flow: identify → weight → synthesize
 //!   → validate → guardband → RSA, end to end against a live plant.
 
@@ -45,6 +49,7 @@ pub mod lqr;
 pub mod optimizer;
 pub mod robust;
 pub mod ss;
+pub mod telemetry;
 pub mod weights;
 
 mod error;
@@ -54,6 +59,7 @@ pub use error::ControlError;
 pub use governor::Governor;
 pub use lqg::LqgController;
 pub use ss::StateSpace;
+pub use telemetry::{NullObserver, Observer, TelemetryConfig, TelemetrySink};
 
 /// Convenient result alias for controller design operations.
 pub type Result<T> = std::result::Result<T, ControlError>;

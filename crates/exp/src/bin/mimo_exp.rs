@@ -1,0 +1,266 @@
+//! `mimo-exp` — the unified experiment CLI.
+//!
+//! One binary replaces the old per-figure executables: every paper
+//! artifact is a subcommand, and the sizing/output knobs are shared flags.
+//!
+//! ```text
+//! mimo-exp [SUBCOMMAND] [--epochs N] [--out DIR] [--trace PATH]
+//! ```
+//!
+//! With no subcommand the full suite runs (the old `all` binary).
+
+use std::process::ExitCode;
+
+use mimo_core::optimizer::Metric;
+use mimo_core::telemetry::TelemetryConfig;
+use mimo_exp::experiments::{self, ExpConfig};
+use mimo_exp::report;
+use mimo_sim::InputSet;
+
+const USAGE: &str = "\
+mimo-exp — reproduce the paper's evaluation (figures, tables, fleet runs)
+
+USAGE:
+    mimo-exp [SUBCOMMAND] [FLAGS]
+
+SUBCOMMANDS:
+    all          run the complete suite (default)
+    fig06        Figure 6 / Table V: weight-choice sensitivity
+    fig07        Figure 7: model error vs state dimension
+    fig08        Figure 8: convergence under uncertainty guardbands
+    fig09        Figure 9: E×D minimization, 2 inputs
+    fig10        Figure 10: E×D minimization, 3 inputs
+    fig11        Figure 11: tracking-error scatter
+    fig12        Figure 12: time-varying (QoE/battery) tracking
+    tab-opt      §VIII-F text: E and E×D² reductions
+    fleet-scale  fleet sizes × worker counts under one chip budget
+    fault-sweep  fault rate × arbitration policy on a 16-core fleet
+
+FLAGS:
+    --epochs N    epochs per tracking run (default: paper-scale 4000)
+    --out DIR     directory CSVs land in (default: nearest results/)
+    --trace PATH  fault-sweep only: write a JSONL epoch trace of the
+                  sweep's most eventful run (per-core ring-buffer sinks)
+    -h, --help    print this help
+";
+
+/// Ring capacity per core when `--trace` is on: enough to keep every
+/// epoch of a CI-sized sweep and the recent tail of a full one.
+const TRACE_CAPACITY: usize = 256;
+
+struct Cli {
+    command: String,
+    epochs: Option<usize>,
+    out: Option<String>,
+    trace: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        command: String::from("all"),
+        epochs: None,
+        out: None,
+        trace: None,
+    };
+    let mut saw_command = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--epochs" => {
+                let v = it.next().ok_or("--epochs needs a value")?;
+                cli.epochs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--epochs needs a positive integer, got {v:?}"))?,
+                );
+            }
+            "--out" => {
+                cli.out = Some(it.next().ok_or("--out needs a directory")?.clone());
+            }
+            "--trace" => {
+                cli.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            cmd if !saw_command => {
+                saw_command = true;
+                cli.command = cmd.to_string();
+            }
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    let known = [
+        "all",
+        "fig06",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "tab-opt",
+        "fleet-scale",
+        "fault-sweep",
+    ];
+    if !known.contains(&cli.command.as_str()) {
+        return Err(format!("unknown subcommand {:?}", cli.command));
+    }
+    if cli.trace.is_some() && cli.command != "fault-sweep" {
+        return Err("--trace is only meaningful with the fault-sweep subcommand".into());
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(dir) = &cli.out {
+        report::set_results_dir(dir.clone());
+    }
+    let mut cfg = ExpConfig::full();
+    if let Some(n) = cli.epochs {
+        cfg.tracking_epochs = n;
+    }
+
+    match cli.command.as_str() {
+        "all" => run_all(&cfg),
+        "fig06" => {
+            experiments::fig06(&cfg).expect("fig06");
+        }
+        "fig07" => {
+            experiments::fig07(&cfg).expect("fig07");
+        }
+        "fig08" => {
+            experiments::fig08(&cfg).expect("fig08");
+        }
+        "fig09" => run_fig09(&cfg),
+        "fig10" => run_fig10(&cfg),
+        "fig11" => {
+            experiments::fig11(&cfg).expect("fig11");
+        }
+        "fig12" => {
+            experiments::fig12(&cfg).expect("fig12");
+        }
+        "tab-opt" => run_tab_opt(&cfg),
+        "fleet-scale" => run_fleet_scale(&cfg),
+        "fault-sweep" => run_fault_sweep(&cfg, cli.trace.as_deref()),
+        _ => unreachable!("parse_args validated the subcommand"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// The complete evaluation suite (the old `all` binary).
+fn run_all(cfg: &ExpConfig) {
+    println!("### Figure 6 — weight sensitivity");
+    experiments::fig06(cfg).expect("fig06");
+    println!("### Figure 7 — model dimension");
+    experiments::fig07(cfg).expect("fig07");
+    println!("### Figure 8 — uncertainty guardbands");
+    experiments::fig08(cfg).expect("fig08");
+    println!("### Figure 11 — tracking multiple references");
+    experiments::fig11(cfg).expect("fig11");
+    println!("### Figure 12 — time-varying tracking");
+    experiments::fig12(cfg).expect("fig12");
+    println!("### Figure 9 — E×D, 2 inputs");
+    experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::EnergyDelay)
+        .expect("fig09");
+    println!("### Figure 10 — E×D, 3 inputs");
+    experiments::optimization_experiment(cfg, InputSet::FreqCacheRob, Metric::EnergyDelay)
+        .expect("fig10");
+    println!("### §VIII-F — E and E×D²");
+    experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::Energy).expect("E");
+    experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::EnergyDelaySquared)
+        .expect("ED2");
+    println!("### Fleet scaling — chip-budgeted many-core runtime");
+    experiments::fleet_scale(cfg).expect("fleet_scale");
+    println!("done; CSVs in {}", report::results_dir().display());
+}
+
+fn run_fig09(cfg: &ExpConfig) {
+    let r = experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::EnergyDelay)
+        .expect("fig09");
+    println!("paper: MIMO -16%, Heuristic -4%, Decoupled +3% | measured: MIMO {:+.1}%, Heuristic {:+.1}%, Decoupled {:+.1}%",
+        (r.avg_mimo - 1.0) * 100.0, (r.avg_heuristic - 1.0) * 100.0,
+        (r.avg_decoupled.unwrap_or(f64::NAN) - 1.0) * 100.0);
+}
+
+fn run_fig10(cfg: &ExpConfig) {
+    let r = experiments::optimization_experiment(cfg, InputSet::FreqCacheRob, Metric::EnergyDelay)
+        .expect("fig10");
+    println!(
+        "paper: MIMO -25%, Heuristic -12% | measured: MIMO {:+.1}%, Heuristic {:+.1}%",
+        (r.avg_mimo - 1.0) * 100.0,
+        (r.avg_heuristic - 1.0) * 100.0
+    );
+}
+
+fn run_tab_opt(cfg: &ExpConfig) {
+    let e =
+        experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::Energy).expect("E");
+    let ed2 =
+        experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::EnergyDelaySquared)
+            .expect("ED2");
+    println!("E    — paper: MIMO -9%, Heuristic -1%, Decoupled 0% | measured: {:+.1}% / {:+.1}% / {:+.1}%",
+        (e.avg_mimo-1.0)*100.0, (e.avg_heuristic-1.0)*100.0, (e.avg_decoupled.unwrap()-1.0)*100.0);
+    println!("E×D² — paper: MIMO -18%, Heuristic -7%, Decoupled -4% | measured: {:+.1}% / {:+.1}% / {:+.1}%",
+        (ed2.avg_mimo-1.0)*100.0, (ed2.avg_heuristic-1.0)*100.0, (ed2.avg_decoupled.unwrap()-1.0)*100.0);
+}
+
+fn run_fleet_scale(cfg: &ExpConfig) {
+    let points = experiments::fleet_scale(cfg).expect("fleet_scale");
+    for pair in points.chunks(2) {
+        assert!(
+            pair.iter().all(|p| p.digest == pair[0].digest),
+            "worker count changed results at N={}",
+            pair[0].stats.n_cores
+        );
+    }
+    println!(
+        "done; {}",
+        report::results_dir().join("fleet_scale.csv").display()
+    );
+}
+
+fn run_fault_sweep(cfg: &ExpConfig, trace: Option<&str>) {
+    let telemetry = trace.map(|_| TelemetryConfig::trace(TRACE_CAPACITY));
+    let (points, tele) = experiments::fault_sweep_traced(cfg, telemetry).expect("fault_sweep");
+    for p in &points {
+        if p.fault_rate == 0.0 {
+            assert_eq!(
+                p.stats.fault_epochs, 0,
+                "zero-rate run faulted ({})",
+                p.stats.policy
+            );
+            assert_eq!(
+                p.stats.quarantined_cores, 0,
+                "zero-rate run quarantined cores ({})",
+                p.stats.policy
+            );
+        }
+    }
+    if let Some(path) = trace {
+        let tele = tele.expect("--trace enabled telemetry on the sweep");
+        tele.save_jsonl(path).expect("write JSONL trace");
+        println!(
+            "wrote {path} ({} cores, {} quarantines)",
+            tele.per_core.len(),
+            tele.quarantines().len()
+        );
+    }
+    println!(
+        "done; {}",
+        report::results_dir().join("fault_sweep.csv").display()
+    );
+}

@@ -782,7 +782,7 @@ pub fn fleet_scale(cfg: &ExpConfig) -> mimo_core::Result<Vec<FleetScalePoint>> {
             let runner =
                 mimo_fleet::FleetRunner::with_shared_controller(fleet_cfg, &design.controller)
                     .expect("fleet config");
-            let stats = runner.run();
+            let stats = runner.run().expect("validated fleet config");
             let digest = stats.digest();
             points.push(FleetScalePoint { stats, digest });
         }
@@ -883,6 +883,21 @@ pub struct FaultSweepPoint {
 /// Propagates controller-design failures; panics only on invalid fleet
 /// configuration, which the fixed sweep cannot produce.
 pub fn fault_sweep(cfg: &ExpConfig) -> mimo_core::Result<Vec<FaultSweepPoint>> {
+    fault_sweep_traced(cfg, None).map(|(points, _)| points)
+}
+
+/// Like [`fault_sweep`], but when `telemetry` is provided every run carries
+/// per-core sinks and the telemetry of the sweep's final run — the highest
+/// fault rate under the last policy, the most eventful configuration — is
+/// returned for export (e.g. the `mimo-exp fault-sweep --trace` flag).
+///
+/// # Errors
+///
+/// Same conditions as [`fault_sweep`].
+pub fn fault_sweep_traced(
+    cfg: &ExpConfig,
+    telemetry: Option<mimo_core::telemetry::TelemetryConfig>,
+) -> mimo_core::Result<(Vec<FaultSweepPoint>, Option<mimo_fleet::FleetTelemetry>)> {
     use mimo_fleet::ArbitrationPolicy;
 
     let design = setup::design_mimo(InputSet::FreqCache, cfg.seed)?;
@@ -896,18 +911,26 @@ pub fn fault_sweep(cfg: &ExpConfig) -> mimo_core::Result<Vec<FaultSweepPoint>> {
     ];
 
     let mut points = Vec::new();
+    let mut last_telemetry = None;
     for &rate in &rates {
         for &policy in &policies {
-            let fleet_cfg = mimo_fleet::FleetConfig::new(n)
+            let mut fleet_cfg = mimo_fleet::FleetConfig::new(n)
                 .workers(0)
                 .epochs(epochs)
                 .policy(policy)
                 .seed(cfg.seed)
                 .fault_rate(rate);
-            let stats =
+            if let Some(t) = &telemetry {
+                fleet_cfg = fleet_cfg.observer(t.clone());
+            }
+            let (stats, tele) =
                 mimo_fleet::FleetRunner::with_shared_controller(fleet_cfg, &design.controller)
                     .expect("fleet config")
-                    .run();
+                    .run_traced()
+                    .expect("validated fleet config");
+            if tele.is_enabled() {
+                last_telemetry = Some(tele);
+            }
             points.push(FaultSweepPoint {
                 fault_rate: rate,
                 stats,
@@ -975,7 +998,7 @@ pub fn fault_sweep(cfg: &ExpConfig) -> mimo_core::Result<Vec<FaultSweepPoint>> {
         }
         println!("{}", report::comparison_table("Fault sweep", &cmp));
     }
-    Ok(points)
+    Ok((points, last_telemetry))
 }
 
 #[cfg(test)]

@@ -5,25 +5,31 @@
 //! the four architectures of Table IV (Baseline, Heuristic, Decoupled,
 //! MIMO).
 //!
-//! Each `fig*` binary reproduces one paper artifact and writes a CSV next
-//! to a printed summary:
+//! One binary — the `mimo-exp` CLI — reproduces every paper artifact as a
+//! subcommand, writing a CSV next to a printed summary:
 //!
-//! | binary    | paper artifact | what it reports |
-//! |-----------|----------------|-----------------|
-//! | `fig06`   | Figure 6 + Table V | weight-choice sensitivity on `namd` |
-//! | `fig07`   | Figure 7 | max model error vs state dimension |
-//! | `fig08`   | Figure 8 | convergence epochs, high vs low guardbands |
-//! | `fig09`   | Figure 9 | E×D vs Baseline, 2 inputs, per app |
-//! | `fig10`   | Figure 10 | E×D vs Baseline, 3 inputs, per app |
-//! | `fig11`   | Figure 11 | tracking-error scatter, responsive / non-responsive |
-//! | `fig12`   | Figure 12 | time-varying (QoE/battery) tracking traces |
-//! | `tab_opt` | §VIII-F text | E and E×D² reductions |
-//! | `all`     | everything | runs the full suite |
+//! | subcommand    | paper artifact | what it reports |
+//! |---------------|----------------|-----------------|
+//! | `fig06`       | Figure 6 + Table V | weight-choice sensitivity on `namd` |
+//! | `fig07`       | Figure 7 | max model error vs state dimension |
+//! | `fig08`       | Figure 8 | convergence epochs, high vs low guardbands |
+//! | `fig09`       | Figure 9 | E×D vs Baseline, 2 inputs, per app |
+//! | `fig10`       | Figure 10 | E×D vs Baseline, 3 inputs, per app |
+//! | `fig11`       | Figure 11 | tracking-error scatter, responsive / non-responsive |
+//! | `fig12`       | Figure 12 | time-varying (QoE/battery) tracking traces |
+//! | `tab-opt`     | §VIII-F text | E and E×D² reductions |
+//! | `fleet-scale` | §VII discussion | fleet sizes × worker counts under one budget |
+//! | `fault-sweep` | §VII discussion | fault rate × policy on a 16-core fleet |
+//! | `all`         | everything | runs the full suite (the default) |
 //!
-//! The library half holds the pieces the binaries share: controller
-//! construction ([`setup`]), the epoch-loop drivers and metrics
-//! ([`runner`]), the battery/QoE reference schedule ([`qoe`]), and CSV /
-//! table output ([`report`]).
+//! Shared flags: `--epochs N` resizes tracking runs, `--out DIR` redirects
+//! the CSVs, and `--trace PATH` (fault-sweep only) writes a JSONL epoch
+//! trace drained from per-core telemetry sinks.
+//!
+//! The library half holds the pieces the CLI shares with integration
+//! tests: controller construction ([`setup`]), the epoch-loop drivers and
+//! metrics ([`runner`]), the battery/QoE reference schedule ([`qoe`]), and
+//! CSV / table output ([`report`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,10 +4,26 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
-/// Directory experiment CSVs land in (relative to the workspace root or
-/// current directory).
+/// Process-wide override of the results directory, installed by the
+/// `mimo-exp` CLI's `--out` flag.
+static RESULTS_DIR_OVERRIDE: OnceLock<PathBuf> = OnceLock::new();
+
+/// Overrides where experiment CSVs land for the rest of the process (used
+/// by the `mimo-exp` CLI's `--out` flag). The first call wins; returns
+/// whether this call installed the override.
+pub fn set_results_dir<P: Into<PathBuf>>(dir: P) -> bool {
+    RESULTS_DIR_OVERRIDE.set(dir.into()).is_ok()
+}
+
+/// Directory experiment CSVs land in: the [`set_results_dir`] override if
+/// one was installed, else the first existing `results` directory walking
+/// up from the current directory, else `results`.
 pub fn results_dir() -> PathBuf {
+    if let Some(dir) = RESULTS_DIR_OVERRIDE.get() {
+        return dir.clone();
+    }
     let candidates = ["results", "../results", "../../results"];
     for c in candidates {
         let p = Path::new(c);

@@ -17,6 +17,7 @@ fn run(workers: usize, policy: ArbitrationPolicy, cap_w: f64) -> mimo_fleet::Fle
     FleetRunner::with_shared_controller(cfg, &design.controller)
         .expect("fleet")
         .run()
+        .expect("validated fleet config")
 }
 
 #[test]
@@ -46,6 +47,7 @@ fn faulted_fleet_is_deterministic_across_worker_counts() {
         FleetRunner::with_shared_controller(cfg, &design.controller)
             .expect("fleet")
             .run()
+            .expect("validated fleet config")
     };
     let one = run(1);
     let many = run(3);
@@ -85,7 +87,8 @@ fn nan_sensor_cores_are_quarantined_and_budget_is_respected() {
     }
     let stats = FleetRunner::with_shared_controller(cfg, &design.controller)
         .expect("fleet")
-        .run();
+        .run()
+        .expect("validated fleet config");
     assert_eq!(stats.quarantined_cores, bad_cores.len(), "{stats:?}");
     for c in &stats.per_core {
         let expected = bad_cores.contains(&c.core);

@@ -57,6 +57,9 @@ pub struct BudgetArbiter {
     epochs: u64,
     power_sum: f64,
     peak_power: f64,
+    /// Per-core grants issued below the nominal power target (one per
+    /// throttled core per epoch).
+    throttle_events: u64,
 }
 
 /// Floor on the per-core power target as a fraction of the nominal target;
@@ -83,6 +86,7 @@ impl BudgetArbiter {
             epochs: 0,
             power_sum: 0.0,
             peak_power: 0.0,
+            throttle_events: 0,
         }
     }
 
@@ -104,6 +108,14 @@ impl BudgetArbiter {
     /// Epochs in which the measured chip power exceeded the cap.
     pub fn violations(&self) -> u64 {
         self.violations
+    }
+
+    /// Total per-core power grants issued below the nominal target — one
+    /// event per throttled core per epoch. Counted by pure comparison on
+    /// the granted targets, so enabling the counter changes no
+    /// floating-point results.
+    pub fn throttle_events(&self) -> u64 {
+        self.throttle_events
     }
 
     /// Mean measured chip power over all observed epochs.
@@ -179,9 +191,10 @@ impl BudgetArbiter {
             self.violations += 1;
         }
 
+        let mut throttled = 0u64;
         if n_quarantined == 0 {
             let weight_sum: f64 = self.priorities.iter().sum();
-            return observed
+            let targets: Vec<Vector> = observed
                 .iter()
                 .enumerate()
                 .map(|(i, obs)| {
@@ -201,12 +214,17 @@ impl BudgetArbiter {
                     // A core never asks for more than its nominal target; under
                     // pressure it is throttled toward (but not below) the floor.
                     let p_target = budget.clamp(floor, base_power);
+                    if p_target < base_power {
+                        throttled += 1;
+                    }
                     // Performance references scale with the granted power share
                     // so the local loop chases a consistent (IPS, P) pair.
                     let ips_target = base_ips * (p_target / base_power);
                     Vector::from_slice(&[ips_target, p_target])
                 })
                 .collect();
+            self.throttle_events += throttled;
+            return targets;
         }
 
         // Degraded mode: quarantined cores are pinned at the floor (their
@@ -227,7 +245,7 @@ impl BudgetArbiter {
             .filter(|&(i, _)| !is_q(i))
             .map(|(_, &w)| w)
             .sum();
-        observed
+        let targets: Vec<Vector> = observed
             .iter()
             .enumerate()
             .map(|(i, obs)| {
@@ -249,10 +267,15 @@ impl BudgetArbiter {
                     };
                     budget.clamp(floor, base_power)
                 };
+                if p_target < base_power {
+                    throttled += 1;
+                }
                 let ips_target = base_ips * (p_target / base_power);
                 Vector::from_slice(&[ips_target, p_target])
             })
-            .collect()
+            .collect();
+        self.throttle_events += throttled;
+        targets
     }
 }
 
@@ -328,6 +351,25 @@ mod tests {
         assert_eq!(arb.violations(), 1);
         assert!((arb.avg_chip_power_w() - 2.0).abs() < 1e-12);
         assert!((arb.peak_chip_power_w() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throttle_events_count_below_nominal_grants() {
+        // Huge cap: every grant clamps at the base target, no throttling.
+        let mut roomy =
+            BudgetArbiter::new(100.0, ArbitrationPolicy::Uniform, [3.0, 1.9], vec![1.0; 2]);
+        roomy.arbitrate(&obs(&[1.0, 1.0]));
+        assert_eq!(roomy.throttle_events(), 0);
+        // Tight cap: both cores throttled, every epoch.
+        let mut tight =
+            BudgetArbiter::new(1.0, ArbitrationPolicy::Uniform, [3.0, 1.9], vec![1.0; 2]);
+        tight.arbitrate(&obs(&[1.0, 1.0]));
+        tight.arbitrate(&obs(&[1.0, 1.0]));
+        assert_eq!(tight.throttle_events(), 4);
+        // Quarantined cores pinned at the floor count as throttled too.
+        let mut q = BudgetArbiter::new(100.0, ArbitrationPolicy::Uniform, [3.0, 1.9], vec![1.0; 2]);
+        q.arbitrate_with_quarantine(&obs(&[1.0, 1.0]), &[true, false]);
+        assert_eq!(q.throttle_events(), 1);
     }
 
     #[test]

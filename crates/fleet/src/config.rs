@@ -1,5 +1,6 @@
 //! Fleet configuration: how many cores, which applications, what budget.
 
+use mimo_core::telemetry::TelemetryConfig;
 use mimo_sim::fault::FaultSpec;
 use mimo_sim::workload::{catalog_names, is_non_responsive, is_training};
 use mimo_sim::InputSet;
@@ -52,6 +53,14 @@ pub struct FleetConfig {
     /// Scheduled faults, as `(core index, fault window)` pairs. Cores not
     /// listed receive no scheduled faults.
     pub core_faults: Vec<(usize, FaultSpec)>,
+    /// Per-core telemetry: when enabled, every core carries its own
+    /// [`TelemetrySink`](mimo_core::telemetry::TelemetrySink) and the run
+    /// returns a populated [`FleetTelemetry`](crate::FleetTelemetry).
+    /// Off by default — the cores then run the statically-disabled
+    /// [`NullObserver`](mimo_core::telemetry::NullObserver)-equivalent
+    /// path (a `None` sink), preserving golden digests and the
+    /// allocation-free guarantee.
+    pub telemetry: TelemetryConfig,
 }
 
 impl FleetConfig {
@@ -71,6 +80,7 @@ impl FleetConfig {
             cores: Vec::new(),
             fault_rate: 0.0,
             core_faults: Vec::new(),
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -95,6 +105,35 @@ impl FleetConfig {
     /// Sets the chip power cap (builder style).
     pub fn chip_power_cap(mut self, watts: f64) -> Self {
         self.chip_power_cap_w = watts;
+        self
+    }
+
+    /// Sets the input set every per-core controller actuates (builder
+    /// style).
+    pub fn input_set(mut self, input_set: InputSet) -> Self {
+        self.input_set = input_set;
+        self
+    }
+
+    /// Sets the nominal per-core `[IPS, power]` targets (builder style).
+    pub fn base_targets(mut self, targets: [f64; 2]) -> Self {
+        self.base_targets = targets;
+        self
+    }
+
+    /// Sets explicit per-core assignments (builder style). Entries beyond
+    /// `n_cores` are ignored; missing cores draw defaults.
+    pub fn cores(mut self, cores: Vec<CoreSpec>) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Attaches per-core telemetry (builder style): each core gets its own
+    /// sink built from `telemetry`, and the run's
+    /// [`FleetTelemetry`](crate::FleetTelemetry) carries the drained
+    /// traces and merged metrics.
+    pub fn observer(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -261,12 +300,11 @@ mod tests {
 
     #[test]
     fn explicit_cores_take_precedence() {
-        let mut cfg = FleetConfig::new(3);
-        cfg.cores = vec![CoreSpec {
+        let cfg = FleetConfig::new(3).cores(vec![CoreSpec {
             app: "mcf".into(),
             seed: 7,
             priority: 2.0,
-        }];
+        }]);
         let specs = cfg.core_specs();
         assert_eq!(specs[0].app, "mcf");
         assert_eq!(specs[0].seed, 7);

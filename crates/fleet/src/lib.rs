@@ -28,9 +28,16 @@
 //!     Box::new(FixedGovernor::new(Vector::from_slice(&[1.3, 6.0])))
 //! })
 //! .unwrap();
-//! let stats = fleet.run();
+//! let stats = fleet.run().unwrap();
 //! assert_eq!(stats.n_cores, 4);
 //! ```
+//!
+//! To watch a run, enable telemetry in the config and use
+//! [`FleetRunner::run_traced`]: every core carries its own ring-buffer
+//! [`TelemetrySink`](mimo_core::telemetry::TelemetrySink), and the
+//! returned [`FleetTelemetry`] holds each core's recent epoch records,
+//! quarantine events, and merged metrics — with JSONL/CSV export that
+//! drains strictly outside the hot loop.
 
 #![warn(missing_docs)]
 
@@ -39,9 +46,11 @@ pub mod config;
 pub mod error;
 pub mod runner;
 pub mod stats;
+pub mod telemetry;
 
 pub use arbiter::{ArbitrationPolicy, BudgetArbiter, CoreObs};
 pub use config::{default_fleet_apps, CoreSpec, FleetConfig};
 pub use error::{FleetError, Result};
 pub use runner::FleetRunner;
 pub use stats::{CoreStats, FleetStats};
+pub use telemetry::{CoreTelemetry, FleetTelemetry};

@@ -26,6 +26,7 @@ use mimo_core::engine::{fleet_warmup, EpochLoop, StepOutcome, TrackingErrorAccum
 use mimo_core::governor::{Governor, MimoGovernor};
 use mimo_core::heuristic::{HeuristicTracker, SensitivityRanking};
 use mimo_core::lqg::LqgController;
+use mimo_core::telemetry::TelemetrySink;
 use mimo_linalg::Vector;
 use mimo_sim::fault::{FaultInjector, FaultPlan};
 use mimo_sim::{Plant, Processor, ProcessorBuilder};
@@ -34,6 +35,7 @@ use crate::arbiter::{BudgetArbiter, CoreObs};
 use crate::config::{CoreSpec, FleetConfig};
 use crate::error::{FleetError, Result};
 use crate::stats::{CoreStats, FleetStats};
+use crate::telemetry::{CoreTelemetry, FleetTelemetry};
 
 /// Epoch length of each random transient fault injected by
 /// [`FleetConfig::fault_rate`].
@@ -44,7 +46,11 @@ const TRANSIENT_FAULT_EPOCHS: u64 = 3;
 struct CoreCell {
     idx: usize,
     spec: CoreSpec,
-    lp: EpochLoop<Box<dyn Governor + Send>, FaultInjector<Processor>>,
+    /// The observer slot is `Option<TelemetrySink>`: `None` (untraced
+    /// fleets) reports statically disabled, so the hot loop skips record
+    /// capture entirely and stays bit-and-allocation identical to the
+    /// pre-telemetry runtime.
+    lp: EpochLoop<Box<dyn Governor + Send>, FaultInjector<Processor>, Option<TelemetrySink>>,
     /// Reference active during the current epoch (set by arbitration at
     /// the end of the previous one).
     target: Vector,
@@ -95,14 +101,25 @@ impl CoreCell {
         self.lp.set_targets(target);
     }
 
-    fn into_stats(self) -> CoreStats {
+    /// Drains the core after the run: statistics always, telemetry when a
+    /// sink was attached.
+    fn into_results(mut self) -> (CoreStats, Option<CoreTelemetry>) {
         let avg_ips_err_pct = self.errs.avg_pct(0);
         let avg_power_err_pct = self.errs.avg_pct(1);
         let fault_epochs = self.lp.fault_epochs();
         let quarantine_epoch = self.lp.quarantine_epoch();
-        let (_, plant) = self.lp.into_parts();
+        self.lp.finish();
+        let (_, plant, sink) = self.lp.into_parts();
+        let telemetry = sink.map(|sink| CoreTelemetry {
+            core: self.idx,
+            trace: sink.trace.to_vec(),
+            metrics: sink.metrics,
+            quarantine: sink.quarantine,
+            summary: sink.summary,
+            injected_faults: *plant.injected_by_kind(),
+        });
         let totals = plant.inner().totals();
-        CoreStats {
+        let stats = CoreStats {
             core: self.idx,
             app: self.spec.app,
             seed: self.spec.seed,
@@ -114,7 +131,8 @@ impl CoreCell {
             fault_epochs,
             quarantined: quarantine_epoch.is_some(),
             quarantine_epoch,
-        }
+        };
+        (stats, telemetry)
     }
 }
 
@@ -186,7 +204,15 @@ impl FleetRunner {
                     plan = plan.with_fault(*fspec);
                 }
             }
-            let mut lp = EpochLoop::new(gov, FaultInjector::new(plant, plan));
+            // A `None` sink is a statically-disabled observer; traced
+            // fleets give every core its own sink so no telemetry state is
+            // shared across worker threads.
+            let sink = if cfg.telemetry.enabled {
+                Some(TelemetrySink::new(&cfg.telemetry))
+            } else {
+                None
+            };
+            let mut lp = EpochLoop::new(gov, FaultInjector::new(plant, plan)).with_observer(sink);
             lp.set_core(idx);
             lp.set_targets(&base);
             cells.push(CoreCell {
@@ -218,7 +244,25 @@ impl FleetRunner {
     }
 
     /// Runs the configured number of epochs and returns fleet statistics.
-    pub fn run(mut self) -> FleetStats {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] if the configuration fails
+    /// [`FleetConfig::validate`] (re-checked here so mutations after
+    /// [`FleetRunner::new`] cannot slip through).
+    pub fn run(self) -> Result<FleetStats> {
+        self.run_traced().map(|(stats, _)| stats)
+    }
+
+    /// Like [`FleetRunner::run`], but also returns the run's
+    /// [`FleetTelemetry`] — populated per-core when the config enabled
+    /// telemetry via [`FleetConfig::observer`], empty otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FleetRunner::run`].
+    pub fn run_traced(mut self) -> Result<(FleetStats, FleetTelemetry)> {
+        self.cfg.validate()?;
         let epochs = self.cfg.epochs;
         let n = self.cells.len();
         let workers = self.cfg.effective_workers();
@@ -299,9 +343,18 @@ impl FleetRunner {
         let wall_s = started.elapsed().as_secs_f64();
 
         let arbiter = shared.into_inner().unwrap().arbiter;
-        let per_core: Vec<CoreStats> = self.cells.into_iter().map(CoreCell::into_stats).collect();
+        let mut per_core: Vec<CoreStats> = Vec::with_capacity(self.cells.len());
+        let mut per_core_telemetry: Vec<CoreTelemetry> = Vec::new();
+        for cell in self.cells {
+            let (stats, telemetry) = cell.into_results();
+            per_core.push(stats);
+            if let Some(t) = telemetry {
+                per_core_telemetry.push(t);
+            }
+        }
+        let telemetry = FleetTelemetry::from_cores(per_core_telemetry);
         let nf = per_core.len().max(1) as f64;
-        FleetStats {
+        let stats = FleetStats {
             n_cores: n,
             workers: parties,
             epochs,
@@ -321,6 +374,7 @@ impl FleetRunner {
             instructions_g: per_core.iter().map(|c| c.instructions_g).sum(),
             quarantined_cores: per_core.iter().filter(|c| c.quarantined).count(),
             fault_epochs: per_core.iter().map(|c| c.fault_epochs).sum(),
+            throttle_events: arbiter.throttle_events(),
             wall_s,
             epochs_per_sec: if wall_s > 0.0 {
                 epochs as f64 / wall_s
@@ -328,7 +382,8 @@ impl FleetRunner {
                 0.0
             },
             per_core,
-        }
+        };
+        Ok((stats, telemetry))
     }
 }
 
@@ -352,9 +407,18 @@ mod tests {
 
     #[test]
     fn identical_stats_regardless_of_worker_count() {
-        let one = FleetRunner::new(small(1), fixed_factory()).unwrap().run();
-        let two = FleetRunner::new(small(2), fixed_factory()).unwrap().run();
-        let four = FleetRunner::new(small(4), fixed_factory()).unwrap().run();
+        let one = FleetRunner::new(small(1), fixed_factory())
+            .unwrap()
+            .run()
+            .unwrap();
+        let two = FleetRunner::new(small(2), fixed_factory())
+            .unwrap()
+            .run()
+            .unwrap();
+        let four = FleetRunner::new(small(4), fixed_factory())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(one, two);
         assert_eq!(one, four);
         assert_eq!(one.digest(), two.digest());
@@ -363,7 +427,10 @@ mod tests {
 
     #[test]
     fn stats_cover_all_cores_and_accumulate_energy() {
-        let stats = FleetRunner::new(small(2), fixed_factory()).unwrap().run();
+        let stats = FleetRunner::new(small(2), fixed_factory())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(stats.n_cores, 4);
         assert_eq!(stats.per_core.len(), 4);
         assert_eq!(stats.epochs, 80);
@@ -379,10 +446,14 @@ mod tests {
 
     #[test]
     fn different_seed_changes_results() {
-        let a = FleetRunner::new(small(1), fixed_factory()).unwrap().run();
+        let a = FleetRunner::new(small(1), fixed_factory())
+            .unwrap()
+            .run()
+            .unwrap();
         let b = FleetRunner::new(small(1).seed(8), fixed_factory())
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         assert_ne!(a, b);
         assert_ne!(a.digest(), b.digest());
     }
@@ -397,10 +468,77 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_matches_untraced_digest_and_fills_telemetry() {
+        use mimo_core::telemetry::TelemetryConfig;
+        let plain = FleetRunner::new(small(2), fixed_factory())
+            .unwrap()
+            .run()
+            .unwrap();
+        let (traced, telemetry) = FleetRunner::new(
+            small(2).observer(TelemetryConfig::trace(32)),
+            fixed_factory(),
+        )
+        .unwrap()
+        .run_traced()
+        .unwrap();
+        // Observing must not perturb the control pipeline.
+        assert_eq!(plain, traced);
+        assert_eq!(plain.digest(), traced.digest());
+        assert!(telemetry.is_enabled());
+        assert_eq!(telemetry.per_core.len(), 4);
+        assert_eq!(telemetry.metrics.epochs, 4 * 80);
+        for (i, core) in telemetry.per_core.iter().enumerate() {
+            assert_eq!(core.core, i);
+            assert_eq!(core.metrics.epochs, 80);
+            assert_eq!(core.trace.len(), 32);
+            // Ring keeps the newest records.
+            assert_eq!(core.trace.last().unwrap().epoch, 79);
+            assert_eq!(core.summary.unwrap().epochs, 80);
+        }
+        // Untraced runs return an empty (disabled) telemetry.
+        let (_, empty) = FleetRunner::new(small(1), fixed_factory())
+            .unwrap()
+            .run_traced()
+            .unwrap();
+        assert!(!empty.is_enabled());
+    }
+
+    #[test]
+    fn telemetry_is_identical_across_worker_counts() {
+        use mimo_core::telemetry::TelemetryConfig;
+        let traced = |workers: usize| {
+            FleetRunner::new(
+                small(workers).observer(TelemetryConfig::trace(16)),
+                fixed_factory(),
+            )
+            .unwrap()
+            .run_traced()
+            .unwrap()
+            .1
+        };
+        let one = traced(1);
+        let four = traced(4);
+        // Merged metrics reduce in core order, so the fleet view is
+        // bit-identical no matter how many workers stepped the cores.
+        assert_eq!(one.metrics, four.metrics);
+        for (a, b) in one.per_core.iter().zip(&four.per_core) {
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.quarantine, b.quarantine);
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        one.write_jsonl(&mut a).unwrap();
+        four.write_jsonl(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn zero_epochs_returns_zeroed_stats() {
         let stats = FleetRunner::new(small(1).epochs(0), fixed_factory())
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(stats.epochs, 0);
         assert_eq!(stats.cap_violation_epochs, 0);
         assert_eq!(stats.energy_j, 0.0);

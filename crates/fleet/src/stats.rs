@@ -70,6 +70,9 @@ pub struct FleetStats {
     pub quarantined_cores: usize,
     /// Total faulted epochs summed across cores.
     pub fault_epochs: u64,
+    /// Arbiter grants issued below the nominal power target (one per
+    /// throttled core per epoch).
+    pub throttle_events: u64,
     /// Wall-clock duration of the epoch loop, seconds (not deterministic).
     pub wall_s: f64,
     /// Fleet epochs per second of wall clock (not deterministic).
@@ -95,6 +98,7 @@ impl PartialEq for FleetStats {
             && self.instructions_g == other.instructions_g
             && self.quarantined_cores == other.quarantined_cores
             && self.fault_epochs == other.fault_epochs
+            && self.throttle_events == other.throttle_events
             && self.per_core == other.per_core
     }
 }
@@ -103,8 +107,8 @@ impl FleetStats {
     /// Order-independent digest of the deterministic fields (exact f64 bit
     /// patterns), for compact reproducibility checks in CSV output.
     ///
-    /// The quarantine/fault bookkeeping is deliberately excluded: the
-    /// digest pins golden values recorded before the fault pipeline
+    /// The quarantine/fault/throttle bookkeeping is deliberately excluded:
+    /// the digest pins golden values recorded before those counters
     /// existed, and fault-free runs must keep reproducing them bit for
     /// bit. `PartialEq` does compare those fields.
     pub fn digest(&self) -> u64 {
@@ -150,6 +154,7 @@ mod tests {
             instructions_g: 0.02,
             quarantined_cores: 0,
             fault_epochs: 0,
+            throttle_events: 0,
             wall_s: 0.5,
             epochs_per_sec: 20.0,
             per_core: vec![CoreStats {
@@ -202,6 +207,7 @@ mod tests {
         let mut b = sample();
         b.quarantined_cores = 1;
         b.fault_epochs = 12;
+        b.throttle_events = 7;
         b.per_core[0].quarantined = true;
         b.per_core[0].quarantine_epoch = Some(40);
         assert_eq!(a.digest(), b.digest());

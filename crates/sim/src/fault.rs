@@ -63,6 +63,32 @@ pub enum FaultKind {
     },
 }
 
+/// Number of distinct [`FaultKind`] variants — sizes the per-kind
+/// injection counters (see [`FaultInjector::injected_by_kind`]).
+pub const FAULT_KIND_COUNT: usize = 4;
+
+impl FaultKind {
+    /// Dense index into a `[u64; FAULT_KIND_COUNT]` counter array.
+    pub fn index(&self) -> usize {
+        match self {
+            FaultKind::StuckSensor { .. } => 0,
+            FaultKind::NanMeasurement { .. } => 1,
+            FaultKind::ActuatorStuckAt { .. } => 2,
+            FaultKind::PowerSpike { .. } => 3,
+        }
+    }
+
+    /// Stable snake_case label used by telemetry reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::StuckSensor { .. } => "stuck_sensor",
+            FaultKind::NanMeasurement { .. } => "nan_measurement",
+            FaultKind::ActuatorStuckAt { .. } => "actuator_stuck_at",
+            FaultKind::PowerSpike { .. } => "power_spike",
+        }
+    }
+}
+
 /// A scheduled fault window: `kind` is active for epochs
 /// `[start_epoch, start_epoch + duration)`. Use `duration = u64::MAX` for
 /// a permanent fault.
@@ -160,6 +186,9 @@ pub struct FaultInjector<P: Plant> {
     u_scratch: Vector,
     /// Epochs in which at least one fault corrupted the interface.
     faulted_epochs: u64,
+    /// Corruptions applied, bucketed by [`FaultKind::index`]. One fault
+    /// active for N epochs counts N times.
+    injected_by_kind: [u64; FAULT_KIND_COUNT],
 }
 
 impl<P: Plant> FaultInjector<P> {
@@ -177,6 +206,7 @@ impl<P: Plant> FaultInjector<P> {
             last_good,
             u_scratch,
             faulted_epochs: 0,
+            injected_by_kind: [0; FAULT_KIND_COUNT],
         }
     }
 
@@ -203,6 +233,13 @@ impl<P: Plant> FaultInjector<P> {
     /// Epochs in which at least one fault corrupted the interface.
     pub fn faulted_epochs(&self) -> u64 {
         self.faulted_epochs
+    }
+
+    /// Corruptions applied so far, bucketed by [`FaultKind::index`]. A
+    /// fault active for N epochs counts N times, so the totals measure
+    /// exposure, not distinct fault instances.
+    pub fn injected_by_kind(&self) -> &[u64; FAULT_KIND_COUNT] {
+        &self.injected_by_kind
     }
 
     /// Draws this epoch's transient process and expires finished
@@ -255,6 +292,7 @@ impl<P: Plant> FaultInjector<P> {
                         any = true;
                     }
                     self.u_scratch[input] = value;
+                    self.injected_by_kind[spec.kind.index()] += 1;
                 }
             }
         }
@@ -279,6 +317,7 @@ impl<P: Plant> FaultInjector<P> {
                         value: pinned,
                     };
                 }
+                self.injected_by_kind[self.active[i].0.index()] += 1;
             }
         }
         any
@@ -313,12 +352,16 @@ impl<P: Plant> FaultInjector<P> {
             }
         }
         for spec in &self.plan.scheduled {
-            if spec.active_at(epoch) {
-                any |= apply_kind(&spec.kind, out, &self.last_good);
+            if spec.active_at(epoch) && apply_kind(&spec.kind, out, &self.last_good) {
+                self.injected_by_kind[spec.kind.index()] += 1;
+                any = true;
             }
         }
         for (kind, _) in &self.active {
-            any |= apply_kind(kind, out, &self.last_good);
+            if apply_kind(kind, out, &self.last_good) {
+                self.injected_by_kind[kind.index()] += 1;
+                any = true;
+            }
         }
         any
     }
@@ -398,5 +441,113 @@ impl<P: Plant> Plant for FaultInjector<P> {
             self.last_good[i] = 0.0;
         }
         self.faulted_epochs = 0;
+        self.injected_by_kind = [0; FAULT_KIND_COUNT];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal 2-in/2-out echo plant: y = u.
+    #[derive(Debug, Clone)]
+    struct Echo;
+
+    impl Plant for Echo {
+        fn num_inputs(&self) -> usize {
+            2
+        }
+
+        fn num_outputs(&self) -> usize {
+            2
+        }
+
+        fn input_grids(&self) -> Vec<Vec<f64>> {
+            vec![vec![0.0, 1.0], vec![0.0, 1.0]]
+        }
+
+        fn apply(&mut self, u: &Vector) -> Vector {
+            u.clone()
+        }
+
+        fn observe(&mut self) -> Vector {
+            Vector::zeros(2)
+        }
+
+        fn phase_changed(&self) -> bool {
+            false
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn injection_counters_bucket_by_kind_and_count_exposure() {
+        // NaN sensor for 3 epochs, actuator stuck for 2, spike for 1.
+        let plan = FaultPlan::none()
+            .with_fault(FaultSpec {
+                kind: FaultKind::NanMeasurement { channel: 0 },
+                start_epoch: 1,
+                duration: 3,
+            })
+            .with_fault(FaultSpec {
+                kind: FaultKind::ActuatorStuckAt {
+                    input: 1,
+                    value: 0.25,
+                },
+                start_epoch: 2,
+                duration: 2,
+            })
+            .with_fault(FaultSpec {
+                kind: FaultKind::PowerSpike { factor: 2.0 },
+                start_epoch: 5,
+                duration: 1,
+            });
+        let mut inj = FaultInjector::new(Echo, plan);
+        let u = Vector::from_slice(&[1.0, 1.0]);
+        let mut y = Vector::zeros(2);
+        for _ in 0..8 {
+            inj.apply_into(&u, &mut y).unwrap();
+        }
+        let by_kind = *inj.injected_by_kind();
+        assert_eq!(by_kind[FaultKind::StuckSensor { channel: 0 }.index()], 0);
+        assert_eq!(by_kind[FaultKind::NanMeasurement { channel: 0 }.index()], 3);
+        assert_eq!(
+            by_kind[FaultKind::ActuatorStuckAt {
+                input: 0,
+                value: 0.0
+            }
+            .index()],
+            2
+        );
+        assert_eq!(by_kind[FaultKind::PowerSpike { factor: 1.0 }.index()], 1);
+        // Faulted epochs are 1,2,3,5 — overlapping faults at epochs 2–3
+        // count once here but separately in the per-kind buckets.
+        assert_eq!(inj.faulted_epochs(), 4);
+        // reset clears the buckets.
+        inj.reset();
+        assert_eq!(*inj.injected_by_kind(), [0; FAULT_KIND_COUNT]);
+        assert_eq!(inj.faulted_epochs(), 0);
+    }
+
+    #[test]
+    fn kind_labels_and_indices_are_distinct() {
+        let kinds = [
+            FaultKind::StuckSensor { channel: 0 },
+            FaultKind::NanMeasurement { channel: 0 },
+            FaultKind::ActuatorStuckAt {
+                input: 0,
+                value: 0.0,
+            },
+            FaultKind::PowerSpike { factor: 1.0 },
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            assert!(a.index() < FAULT_KIND_COUNT);
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.index(), b.index());
+                assert_ne!(a.as_str(), b.as_str());
+            }
+        }
+        assert_eq!(kinds[0].as_str(), "stuck_sensor");
     }
 }

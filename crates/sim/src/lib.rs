@@ -52,7 +52,7 @@ mod error;
 
 pub use config::{ActuatorGrid, InputSet, PlantConfig};
 pub use error::SimError;
-pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FAULT_KIND_COUNT};
 pub use processor::{Observation, Plant, Processor, ProcessorBuilder};
 
 /// Convenient result alias for simulator operations.

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .chip_power_cap(19.2)
             .policy(ArbitrationPolicy::Proportional)
     };
-    let stats = FleetRunner::with_shared_controller(cfg().workers(4), &controller)?.run();
+    let stats = FleetRunner::with_shared_controller(cfg().workers(4), &controller)?.run()?;
     println!(
         "16 cores, 4 workers: chip power {:.2} W avg / {:.2} W peak, \
          {:.1}% IPS err, {:.0} epochs/s",
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Same fleet, one worker: bit-identical science.
-    let serial = FleetRunner::with_shared_controller(cfg().workers(1), &controller)?.run();
+    let serial = FleetRunner::with_shared_controller(cfg().workers(1), &controller)?.run()?;
     assert_eq!(serial, stats, "results must not depend on the worker count");
     println!(
         "1 worker replay: digest {:016x} == {:016x}, deterministic",

@@ -20,6 +20,12 @@
 //! * [`fleet`] — the many-core fleet runtime: per-core MIMO governors
 //!   stepped in lock-step epochs under a chip-level power-budget arbiter.
 //!
+//! The [`telemetry`] facade re-exports the observability layer
+//! (`mimo_core::telemetry`): the [`telemetry::Observer`] trait, the
+//! ring-buffer [`telemetry::TelemetrySink`], and the JSONL/CSV exporters,
+//! so application code can trace an epoch loop without naming the core
+//! crate directly.
+//!
 //! The facade also defines the workspace-level [`Error`]/[`Result`] pair —
 //! one sum type over every layer's error enum, with `From` conversions so
 //! cross-layer application code can propagate any failure with `?`.
@@ -50,6 +56,7 @@ mod error;
 pub use error::{Error, Result};
 
 pub use mimo_core as core;
+pub use mimo_core::telemetry;
 pub use mimo_exp as exp;
 pub use mimo_fleet as fleet;
 pub use mimo_linalg as linalg;

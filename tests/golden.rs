@@ -124,7 +124,8 @@ fn golden_fleet_digest() {
         .seed(7);
     let stats = FleetRunner::with_shared_controller(cfg, controller())
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert_eq!(stats.digest(), 0x19add60c38adeb17);
     let per_core: Vec<f64> = stats
         .per_core
