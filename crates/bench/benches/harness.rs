@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the experiment-harness machinery itself: the
+//! memoized design cache (cold synthesis vs warm `Arc` hit) and the
+//! index-ordered `par_map` grid scheduler (serial vs multi-worker on a
+//! simulator-shaped cell).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mimo_exp::cache::DesignCache;
+use mimo_exp::par::par_map;
+use mimo_exp::setup;
+use mimo_sim::{InputSet, Plant};
+
+fn bench_design_cache(c: &mut Criterion) {
+    // Cold: the full Figure 3 flow (excitation + ARX + DARE + RSA).
+    c.bench_function("harness/design_cold", |b| {
+        b.iter(|| setup::design_mimo(InputSet::FreqCache, black_box(2016)).unwrap())
+    });
+    // Warm: one map probe returning the shared Arc.
+    let cache = DesignCache::new();
+    cache.design_mimo(InputSet::FreqCache, 2016).unwrap();
+    c.bench_function("harness/design_cache_warm_hit", |b| {
+        b.iter(|| {
+            cache
+                .design_mimo(InputSet::FreqCache, black_box(2016))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_par_map(c: &mut Criterion) {
+    // A simulator-shaped cell: step a plant a few hundred epochs.
+    let cell = |seed: u64| {
+        let mut plant = setup::plant("astar", InputSet::FreqCache, seed);
+        let mut acc = 0.0;
+        for _ in 0..200 {
+            let out = plant.apply(&mimo_linalg::Vector::from_slice(&[1.0, 4.0]));
+            acc += out[0];
+        }
+        acc
+    };
+    let seeds: Vec<u64> = (0..8).collect();
+    c.bench_function("harness/par_map_8cells_serial", |b| {
+        b.iter(|| par_map(1, seeds.clone(), |_, s| cell(black_box(s))))
+    });
+    c.bench_function("harness/par_map_8cells_4jobs", |b| {
+        b.iter(|| par_map(4, seeds.clone(), |_, s| cell(black_box(s))))
+    });
+}
+
+criterion_group!(benches, bench_design_cache, bench_par_map);
+criterion_main!(benches);

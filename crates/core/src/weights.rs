@@ -8,9 +8,17 @@
 //! trade 1% of deviation in the heavy one against 10% in the light one
 //! (the quadratic cost square-roots the ratio).
 
+use std::hash::{Hash, Hasher};
+
 use serde::{Deserialize, Serialize};
 
 /// A named set of input/output weights for a controller design.
+///
+/// Weight sets double as **design-cache keys** (the experiment harness
+/// memoizes one synthesized controller per distinct weight choice), so
+/// they implement [`Eq`] and [`Hash`]. Weights are finite by construction
+/// — the design flow rejects non-finite weights before any cache lookup —
+/// which makes the derived `PartialEq` a valid equivalence relation here.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WeightSet {
     /// Human-readable label (Table V uses Equal/Inputs/Power/Size).
@@ -68,6 +76,24 @@ impl WeightSet {
     /// Ratio of the power weight to the IPS weight.
     pub fn power_to_ips(&self) -> f64 {
         self.output[1] / self.output[0]
+    }
+}
+
+/// Valid because weight values are finite (see the struct docs): `==` on
+/// finite floats is reflexive, symmetric, and transitive.
+impl Eq for WeightSet {}
+
+impl Hash for WeightSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.label.hash(state);
+        self.output.len().hash(state);
+        for w in self.output.iter().chain(&self.input) {
+            // Hash through the bit pattern, normalizing -0.0 to +0.0 so
+            // that hashing agrees with `==` on the one finite case where
+            // bit patterns and numeric equality disagree.
+            let w = if *w == 0.0 { 0.0 } else { *w };
+            w.to_bits().hash(state);
+        }
     }
 }
 
@@ -161,5 +187,36 @@ mod tests {
         let w = WeightSet::table_iii_two_input();
         assert_eq!(w.clone(), w);
         assert_ne!(w, WeightSet::table_iii_three_input());
+    }
+
+    #[test]
+    fn weight_sets_hash_consistently_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let digest = |w: &WeightSet| {
+            let mut h = DefaultHasher::new();
+            w.hash(&mut h);
+            h.finish()
+        };
+        let a = WeightSet::table_iii_two_input();
+        assert_eq!(digest(&a), digest(&a.clone()));
+        assert_ne!(digest(&a), digest(&WeightSet::table_iii_three_input()));
+        // The one finite case where `==` and bit patterns disagree: a
+        // zero weight must hash the same regardless of sign.
+        let mut neg = a.clone();
+        let mut pos = a.clone();
+        neg.input[0] = -0.0;
+        pos.input[0] = 0.0;
+        assert_eq!(neg, pos);
+        assert_eq!(digest(&neg), digest(&pos));
+    }
+
+    #[test]
+    fn weight_sets_work_as_map_keys() {
+        let mut map = std::collections::HashMap::new();
+        map.insert(WeightSet::table_iii_two_input(), 1);
+        map.insert(WeightSet::table_iii_three_input(), 2);
+        assert_eq!(map[&WeightSet::table_iii_two_input()], 1);
+        assert_eq!(map.len(), 2);
     }
 }

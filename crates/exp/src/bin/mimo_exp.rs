@@ -4,17 +4,22 @@
 //! artifact is a subcommand, and the sizing/output knobs are shared flags.
 //!
 //! ```text
-//! mimo-exp [SUBCOMMAND] [--epochs N] [--out DIR] [--trace PATH]
+//! mimo-exp [SUBCOMMAND] [--epochs N] [--jobs N] [--out DIR] [--timing] [--trace PATH]
 //! ```
 //!
-//! With no subcommand the full suite runs (the old `all` binary).
+//! With no subcommand the full suite runs (the old `all` binary). Grid
+//! cells fan out across `--jobs` workers; output is bit-identical at any
+//! job count, so `--jobs` only changes wall-clock.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use mimo_core::optimizer::Metric;
 use mimo_core::telemetry::TelemetryConfig;
 use mimo_exp::experiments::{self, ExpConfig};
-use mimo_exp::report;
+use mimo_exp::par;
+use mimo_exp::report::ResultsDir;
+use mimo_exp::timing::TimingSink;
 use mimo_sim::InputSet;
 
 const USAGE: &str = "\
@@ -38,7 +43,12 @@ SUBCOMMANDS:
 
 FLAGS:
     --epochs N    epochs per tracking run (default: paper-scale 4000)
+    --jobs N      worker threads for experiment grid cells (default: the
+                  host's available parallelism, or the MIMO_JOBS env var;
+                  N >= 1 — results are bit-identical at any job count)
     --out DIR     directory CSVs land in (default: nearest results/)
+    --timing      record per-subcommand and per-cell wall-clock into
+                  BENCH_harness.json in the results directory
     --trace PATH  fault-sweep only: write a JSONL epoch trace of the
                   sweep's most eventful run (per-core ring-buffer sinks)
     -h, --help    print this help
@@ -51,7 +61,9 @@ const TRACE_CAPACITY: usize = 256;
 struct Cli {
     command: String,
     epochs: Option<usize>,
+    jobs: Option<usize>,
     out: Option<String>,
+    timing: bool,
     trace: Option<String>,
 }
 
@@ -59,7 +71,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         command: String::from("all"),
         epochs: None,
+        jobs: None,
         out: None,
+        timing: false,
         trace: None,
     };
     let mut saw_command = false;
@@ -74,9 +88,17 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .map_err(|_| format!("--epochs needs a positive integer, got {v:?}"))?,
                 );
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                cli.jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--jobs needs a positive integer, got {v:?}"))?,
+                );
+            }
             "--out" => {
                 cli.out = Some(it.next().ok_or("--out needs a directory")?.clone());
             }
+            "--timing" => cli.timing = true,
             "--trace" => {
                 cli.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
             }
@@ -125,142 +147,214 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let jobs = match par::resolve_jobs(cli.jobs) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    if let Some(dir) = &cli.out {
-        report::set_results_dir(dir.clone());
-    }
     let mut cfg = ExpConfig::full();
+    cfg.jobs = jobs;
+    cfg.results = match &cli.out {
+        Some(dir) => ResultsDir::new(dir.clone()),
+        None => ResultsDir::discover(),
+    };
+    if cli.timing {
+        cfg.timing = TimingSink::enabled();
+    }
     if let Some(n) = cli.epochs {
         cfg.tracking_epochs = n;
     }
 
-    match cli.command.as_str() {
+    let start = Instant::now();
+    let failures = match cli.command.as_str() {
         "all" => run_all(&cfg),
-        "fig06" => {
-            experiments::fig06(&cfg).expect("fig06");
+        name => {
+            let r = cfg
+                .timing
+                .subcommand(name, || run_one(&cfg, name, cli.trace.as_deref()));
+            collect_failure(name, r)
         }
-        "fig07" => {
-            experiments::fig07(&cfg).expect("fig07");
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let (hits, misses) = cfg.cache.stats();
+    if hits + misses > 0 {
+        println!("design cache: {hits} hits, {misses} misses");
+    }
+    if cfg.timing.is_enabled() {
+        let doc = cfg
+            .timing
+            .render_json(cfg.jobs, cfg.tracking_epochs, wall_s, hits, misses);
+        match cfg.results.write_text("BENCH_harness.json", &doc) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write BENCH_harness.json: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-        "fig08" => {
-            experiments::fig08(&cfg).expect("fig08");
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for (name, msg) in &failures {
+            eprintln!("error: {name} failed: {msg}");
         }
-        "fig09" => run_fig09(&cfg),
-        "fig10" => run_fig10(&cfg),
-        "fig11" => {
-            experiments::fig11(&cfg).expect("fig11");
-        }
-        "fig12" => {
-            experiments::fig12(&cfg).expect("fig12");
-        }
-        "tab-opt" => run_tab_opt(&cfg),
-        "fleet-scale" => run_fleet_scale(&cfg),
-        "fault-sweep" => run_fault_sweep(&cfg, cli.trace.as_deref()),
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs one non-`all` subcommand; errors bubble up instead of panicking so
+/// a failing grid cell reports which cell died.
+fn run_one(cfg: &ExpConfig, name: &str, trace: Option<&str>) -> Result<(), String> {
+    match name {
+        "fig06" => experiments::fig06(cfg).map(drop).map_err(|e| e.to_string()),
+        "fig07" => experiments::fig07(cfg).map(drop).map_err(|e| e.to_string()),
+        "fig08" => experiments::fig08(cfg).map(drop).map_err(|e| e.to_string()),
+        "fig09" => run_fig09(cfg),
+        "fig10" => run_fig10(cfg),
+        "fig11" => experiments::fig11(cfg).map(drop).map_err(|e| e.to_string()),
+        "fig12" => experiments::fig12(cfg).map(drop).map_err(|e| e.to_string()),
+        "tab-opt" => run_tab_opt(cfg),
+        "fleet-scale" => run_fleet_scale(cfg),
+        "fault-sweep" => run_fault_sweep(cfg, trace),
         _ => unreachable!("parse_args validated the subcommand"),
     }
-    ExitCode::SUCCESS
 }
 
-/// The complete evaluation suite (the old `all` binary).
-fn run_all(cfg: &ExpConfig) {
-    println!("### Figure 6 — weight sensitivity");
-    experiments::fig06(cfg).expect("fig06");
-    println!("### Figure 7 — model dimension");
-    experiments::fig07(cfg).expect("fig07");
-    println!("### Figure 8 — uncertainty guardbands");
-    experiments::fig08(cfg).expect("fig08");
-    println!("### Figure 11 — tracking multiple references");
-    experiments::fig11(cfg).expect("fig11");
-    println!("### Figure 12 — time-varying tracking");
-    experiments::fig12(cfg).expect("fig12");
-    println!("### Figure 9 — E×D, 2 inputs");
-    experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::EnergyDelay)
-        .expect("fig09");
-    println!("### Figure 10 — E×D, 3 inputs");
-    experiments::optimization_experiment(cfg, InputSet::FreqCacheRob, Metric::EnergyDelay)
-        .expect("fig10");
-    println!("### §VIII-F — E and E×D²");
-    experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::Energy).expect("E");
-    experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::EnergyDelaySquared)
-        .expect("ED2");
-    println!("### Fleet scaling — chip-budgeted many-core runtime");
-    experiments::fleet_scale(cfg).expect("fleet_scale");
-    println!("done; CSVs in {}", report::results_dir().display());
+fn collect_failure(name: &str, r: Result<(), String>) -> Vec<(String, String)> {
+    match r {
+        Ok(()) => Vec::new(),
+        Err(msg) => vec![(name.to_string(), msg)],
+    }
 }
 
-fn run_fig09(cfg: &ExpConfig) {
+/// One `all` step: CLI name, heading, and runner.
+type Step = (
+    &'static str,
+    &'static str,
+    fn(&ExpConfig) -> Result<(), String>,
+);
+
+/// The complete evaluation suite (the old `all` binary). A failing
+/// subcommand is reported and the rest of the suite still runs, so one
+/// bad cell costs one figure, not the whole evaluation.
+fn run_all(cfg: &ExpConfig) -> Vec<(String, String)> {
+    let mut failures = Vec::new();
+    let steps: &[Step] = &[
+        ("fig06", "Figure 6 — weight sensitivity", |c| {
+            experiments::fig06(c).map(drop).map_err(|e| e.to_string())
+        }),
+        ("fig07", "Figure 7 — model dimension", |c| {
+            experiments::fig07(c).map(drop).map_err(|e| e.to_string())
+        }),
+        ("fig08", "Figure 8 — uncertainty guardbands", |c| {
+            experiments::fig08(c).map(drop).map_err(|e| e.to_string())
+        }),
+        ("fig11", "Figure 11 — tracking multiple references", |c| {
+            experiments::fig11(c).map(drop).map_err(|e| e.to_string())
+        }),
+        ("fig12", "Figure 12 — time-varying tracking", |c| {
+            experiments::fig12(c).map(drop).map_err(|e| e.to_string())
+        }),
+        ("fig09", "Figure 9 — E×D, 2 inputs", |c| run_fig09(c)),
+        ("fig10", "Figure 10 — E×D, 3 inputs", |c| run_fig10(c)),
+        ("tab-opt", "§VIII-F — E and E×D²", |c| run_tab_opt(c)),
+        (
+            "fleet-scale",
+            "Fleet scaling — chip-budgeted many-core runtime",
+            |c| run_fleet_scale(c),
+        ),
+    ];
+    for (name, title, step) in steps {
+        println!("### {title}");
+        if let Err(msg) = cfg.timing.subcommand(name, || step(cfg)) {
+            eprintln!("error: {name} failed: {msg} (continuing)");
+            failures.push((name.to_string(), msg));
+        }
+    }
+    println!("done; CSVs in {}", cfg.results.path().display());
+    failures
+}
+
+fn run_fig09(cfg: &ExpConfig) -> Result<(), String> {
     let r = experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::EnergyDelay)
-        .expect("fig09");
+        .map_err(|e| e.to_string())?;
     println!("paper: MIMO -16%, Heuristic -4%, Decoupled +3% | measured: MIMO {:+.1}%, Heuristic {:+.1}%, Decoupled {:+.1}%",
         (r.avg_mimo - 1.0) * 100.0, (r.avg_heuristic - 1.0) * 100.0,
         (r.avg_decoupled.unwrap_or(f64::NAN) - 1.0) * 100.0);
+    Ok(())
 }
 
-fn run_fig10(cfg: &ExpConfig) {
+fn run_fig10(cfg: &ExpConfig) -> Result<(), String> {
     let r = experiments::optimization_experiment(cfg, InputSet::FreqCacheRob, Metric::EnergyDelay)
-        .expect("fig10");
+        .map_err(|e| e.to_string())?;
     println!(
         "paper: MIMO -25%, Heuristic -12% | measured: MIMO {:+.1}%, Heuristic {:+.1}%",
         (r.avg_mimo - 1.0) * 100.0,
         (r.avg_heuristic - 1.0) * 100.0
     );
+    Ok(())
 }
 
-fn run_tab_opt(cfg: &ExpConfig) {
-    let e =
-        experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::Energy).expect("E");
+fn run_tab_opt(cfg: &ExpConfig) -> Result<(), String> {
+    let e = experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::Energy)
+        .map_err(|e| e.to_string())?;
     let ed2 =
         experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::EnergyDelaySquared)
-            .expect("ED2");
+            .map_err(|e| e.to_string())?;
+    let dec = |r: &experiments::OptResult| (r.avg_decoupled.unwrap_or(f64::NAN) - 1.0) * 100.0;
     println!("E    — paper: MIMO -9%, Heuristic -1%, Decoupled 0% | measured: {:+.1}% / {:+.1}% / {:+.1}%",
-        (e.avg_mimo-1.0)*100.0, (e.avg_heuristic-1.0)*100.0, (e.avg_decoupled.unwrap()-1.0)*100.0);
+        (e.avg_mimo-1.0)*100.0, (e.avg_heuristic-1.0)*100.0, dec(&e));
     println!("E×D² — paper: MIMO -18%, Heuristic -7%, Decoupled -4% | measured: {:+.1}% / {:+.1}% / {:+.1}%",
-        (ed2.avg_mimo-1.0)*100.0, (ed2.avg_heuristic-1.0)*100.0, (ed2.avg_decoupled.unwrap()-1.0)*100.0);
+        (ed2.avg_mimo-1.0)*100.0, (ed2.avg_heuristic-1.0)*100.0, dec(&ed2));
+    Ok(())
 }
 
-fn run_fleet_scale(cfg: &ExpConfig) {
-    let points = experiments::fleet_scale(cfg).expect("fleet_scale");
+fn run_fleet_scale(cfg: &ExpConfig) -> Result<(), String> {
+    let points = experiments::fleet_scale(cfg).map_err(|e| e.to_string())?;
     for pair in points.chunks(2) {
-        assert!(
-            pair.iter().all(|p| p.digest == pair[0].digest),
-            "worker count changed results at N={}",
-            pair[0].stats.n_cores
-        );
+        if !pair.iter().all(|p| p.digest == pair[0].digest) {
+            return Err(format!(
+                "worker count changed results at N={}",
+                pair[0].stats.n_cores
+            ));
+        }
     }
-    println!(
-        "done; {}",
-        report::results_dir().join("fleet_scale.csv").display()
-    );
+    println!("done; {}", cfg.results.join("fleet_scale.csv").display());
+    Ok(())
 }
 
-fn run_fault_sweep(cfg: &ExpConfig, trace: Option<&str>) {
+fn run_fault_sweep(cfg: &ExpConfig, trace: Option<&str>) -> Result<(), String> {
     let telemetry = trace.map(|_| TelemetryConfig::trace(TRACE_CAPACITY));
-    let (points, tele) = experiments::fault_sweep_traced(cfg, telemetry).expect("fault_sweep");
+    let (points, tele) =
+        experiments::fault_sweep_traced(cfg, telemetry).map_err(|e| e.to_string())?;
     for p in &points {
         if p.fault_rate == 0.0 {
-            assert_eq!(
-                p.stats.fault_epochs, 0,
-                "zero-rate run faulted ({})",
-                p.stats.policy
-            );
-            assert_eq!(
-                p.stats.quarantined_cores, 0,
-                "zero-rate run quarantined cores ({})",
-                p.stats.policy
-            );
+            if p.stats.fault_epochs != 0 {
+                return Err(format!("zero-rate run faulted ({})", p.stats.policy));
+            }
+            if p.stats.quarantined_cores != 0 {
+                return Err(format!(
+                    "zero-rate run quarantined cores ({})",
+                    p.stats.policy
+                ));
+            }
         }
     }
     if let Some(path) = trace {
-        let tele = tele.expect("--trace enabled telemetry on the sweep");
-        tele.save_jsonl(path).expect("write JSONL trace");
+        let tele = tele.ok_or("--trace enabled telemetry but the sweep returned none")?;
+        tele.save_jsonl(path)
+            .map_err(|e| format!("write JSONL trace: {e}"))?;
         println!(
             "wrote {path} ({} cores, {} quarantines)",
             tele.per_core.len(),
             tele.quarantines().len()
         );
     }
-    println!(
-        "done; {}",
-        report::results_dir().join("fault_sweep.csv").display()
-    );
+    println!("done; {}", cfg.results.join("fault_sweep.csv").display());
+    Ok(())
 }

@@ -1,21 +1,34 @@
 //! One function per paper artifact (figure/table). The `fig*` binaries and
 //! the integration tests call these; each returns structured results and
 //! can print a report with CSV output.
+//!
+//! The per-figure grids — (workload, governor, configuration) cells — run
+//! on the index-ordered [`par_map`] pool: each cell
+//! owns its own seeded plant, seeds are derived from the cell index with
+//! the same formulas the serial code used, and reduction/emission always
+//! walks cells in index order, so every CSV is bit-identical at any
+//! `--jobs` count (and to the historical serial output).
+
+use std::time::Instant;
 
 use mimo_core::design::DesignFlow;
 use mimo_core::governor::{Governor, MimoGovernor};
 use mimo_core::heuristic::{HeuristicOptimizer, HeuristicTracker};
 use mimo_core::optimizer::{Metric, MAX_TRIES};
 use mimo_core::weights::WeightSet;
+use mimo_core::ControlError;
 use mimo_linalg::Vector;
 use mimo_sim::workload::{is_non_responsive, production_names};
 use mimo_sim::InputSet;
 
+use crate::cache::DesignCache;
+use crate::par::par_map;
 use crate::qoe::BatterySchedule;
-use crate::report::{self, Comparison};
+use crate::report::{self, Comparison, ResultsDir};
 use crate::runner::{
     run_optimization, run_schedule, run_self_directed, run_tracking, ScheduleTrace, TrackingStats,
 };
+use crate::timing::TimingSink;
 use crate::{setup, TARGET_IPS, TARGET_POWER};
 
 /// Experiment sizing knobs; `full()` reproduces the paper-scale runs,
@@ -34,6 +47,15 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Whether to print reports and write CSVs.
     pub emit: bool,
+    /// Worker threads for grid cells (1 = serial; results are identical
+    /// at any value).
+    pub jobs: usize,
+    /// Memoized design-flow products, shared across subcommands.
+    pub cache: DesignCache,
+    /// Where CSVs and other artifacts land.
+    pub results: ResultsDir,
+    /// Wall-clock recorder for `--timing` (disabled by default).
+    pub timing: TimingSink,
 }
 
 impl ExpConfig {
@@ -46,23 +68,61 @@ impl ExpConfig {
             apps: None,
             seed: 2016,
             emit: true,
+            jobs: 1,
+            cache: DesignCache::new(),
+            results: ResultsDir::discover(),
+            timing: TimingSink::disabled(),
         }
     }
 
     /// Small configuration for tests.
     pub fn quick() -> Self {
         ExpConfig {
+            apps: Some(vec!["astar", "milc", "mcf", "gamess", "dealII", "povray"]),
             budget_g: 1.2,
             tracking_epochs: 1200,
             schedule_epochs: 2000,
-            apps: Some(vec!["astar", "milc", "mcf", "gamess", "dealII", "povray"]),
-            seed: 2016,
             emit: false,
+            ..ExpConfig::full()
         }
     }
 
     fn app_list(&self) -> Vec<&'static str> {
         self.apps.clone().unwrap_or_else(production_names)
+    }
+
+    /// Fans `items` across the configured worker pool, timing each cell
+    /// under its label; results (and timing records) come back in cell
+    /// order.
+    fn grid<T, R, F>(&self, labels: &[String], items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        debug_assert_eq!(labels.len(), items.len());
+        let timed = par_map(self.jobs, items, |i, t| {
+            let start = Instant::now();
+            let r = f(i, t);
+            (r, start.elapsed().as_secs_f64())
+        });
+        timed
+            .into_iter()
+            .enumerate()
+            .map(|(i, (r, wall_s))| {
+                self.timing.record_cell(&labels[i], wall_s);
+                r
+            })
+            .collect()
+    }
+}
+
+/// Attaches a grid-cell label (workload/architecture) to an error so one
+/// failing cell reports *which* cell instead of aborting the sweep
+/// anonymously.
+fn cell_err(label: &str, e: impl std::fmt::Display) -> ControlError {
+    ControlError::ValidationFailed {
+        what: format!("cell {label}: {e}"),
     }
 }
 
@@ -93,8 +153,12 @@ pub struct Fig06Point {
 /// are reported as non-convergent instead).
 pub fn fig06(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig06Point>> {
     let targets = Vector::from_slice(&[TARGET_IPS, TARGET_POWER]);
-    let mut points = Vec::new();
-    for ws in WeightSet::table_v() {
+    let cells = WeightSet::table_v();
+    let labels: Vec<String> = cells
+        .iter()
+        .map(|ws| format!("fig06/{}", ws.label))
+        .collect();
+    let points = cfg.grid(&labels, cells, |i, ws| -> mimo_core::Result<Fig06Point> {
         let label = ws.label.clone();
         // Figure 6 studies raw weight choices: design without the RSA loop
         // so bad choices show their true (possibly non-convergent) colors.
@@ -105,32 +169,35 @@ pub fn fig06(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig06Point>> {
         let mut flow = DesignFlow::two_input().with_weights(ws);
         flow.input_weight_scale = 3e4;
         let mut training = setup::training_plants(InputSet::FreqCache, cfg.seed);
-        let point = match flow.run_multi(training.iter_mut()) {
+        match flow.run_multi(training.iter_mut()) {
             Ok(result) => {
                 let mut gov = MimoGovernor::new(result.into_controller());
-                let mut plant = setup::plant("namd", InputSet::FreqCache, cfg.seed + 40);
+                let mut plant = setup::try_plant("namd", InputSet::FreqCache, cfg.seed + 40)
+                    .map_err(|e| cell_err(&labels[i], e))?;
                 // Convergence from initial conditions, within namd's first
                 // program phase.
                 let epochs = cfg.tracking_epochs.min(2400);
                 let stats = run_tracking(&mut gov, &mut plant, &targets, epochs, false);
-                Fig06Point {
+                Ok(Fig06Point {
                     label,
                     steady_freq: stats.steady_epoch[0],
                     steady_cache: stats.steady_epoch[1],
                     err_ips_pct: stats.avg_err_pct[0],
                     err_power_pct: stats.avg_err_pct[1],
-                }
+                })
             }
-            Err(_) => Fig06Point {
+            // A weight set that cannot even be synthesized is a finding
+            // (non-convergent), not a harness failure.
+            Err(_) => Ok(Fig06Point {
                 label,
                 steady_freq: None,
                 steady_cache: None,
                 err_ips_pct: f64::NAN,
                 err_power_pct: f64::NAN,
-            },
-        };
-        points.push(point);
-    }
+            }),
+        }
+    });
+    let points: Vec<Fig06Point> = points.into_iter().collect::<mimo_core::Result<_>>()?;
     if cfg.emit {
         let rows: Vec<Vec<String>> = points
             .iter()
@@ -157,7 +224,7 @@ pub fn fig06(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig06Point>> {
                 &rows
             )
         );
-        let _ = report::write_csv(
+        let _ = cfg.results.write_csv(
             "fig06_weights.csv",
             &[
                 "label",
@@ -228,7 +295,7 @@ pub fn fig07(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig07Point>> {
             "{}",
             report::ascii_table(&["dimension", "max err IPS %", "max err P %"], &rows)
         );
-        let _ = report::write_csv(
+        let _ = cfg.results.write_csv(
             "fig07_dimension.csv",
             &["dimension", "err_ips_pct", "err_power_pct"],
             &rows,
@@ -288,27 +355,54 @@ pub fn fig08(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig08Point>> {
     // still passes at that guardband. The High design keeps the production
     // weights; the Low design quarters them.
     let apps = ["namd", "gamess", "cactusADM", "sphinx3"];
-    let mut points = Vec::new();
-    for (label, gb, weight_div) in [
+    let specs = [
         ("High Uncertainty", [0.5, 0.3], 1.0),
         ("Low Uncertainty", [0.3, 0.2], 4.0),
-    ] {
+    ];
+
+    // Stage 1: synthesize the two guardband designs (independent cells).
+    let design_labels: Vec<String> = specs
+        .iter()
+        .map(|(label, _, _)| format!("fig08/design/{label}"))
+        .collect();
+    let designs = cfg.grid(&design_labels, specs.to_vec(), |i, (_, gb, weight_div)| {
         let mut flow = DesignFlow::two_input();
         flow.input_weight_scale /= weight_div;
         let mut training = setup::training_plants(InputSet::FreqCache, cfg.seed);
-        let result = flow.run_multi(training.iter_mut())?;
+        let result = flow
+            .run_multi(training.iter_mut())
+            .map_err(|e| cell_err(&design_labels[i], e))?;
         // RSA must confirm the design is stable at its guardband.
-        let validated = flow.rsa_redesign(&result, &gb)?;
+        flow.rsa_redesign(&result, &gb)
+            .map_err(|e| cell_err(&design_labels[i], e))
+    });
+    let designs: Vec<_> = designs.into_iter().collect::<mimo_core::Result<_>>()?;
+
+    // Stage 2: every (design, app) tracking run is its own cell. Measure
+    // within the first program phase (convergence from initial conditions,
+    // as in the paper's figure); per-app seeds match the serial formula.
+    let epochs = cfg.tracking_epochs.min(2200);
+    let cells: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|d| (0..apps.len()).map(move |k| (d, k)))
+        .collect();
+    let labels: Vec<String> = cells
+        .iter()
+        .map(|&(d, k)| format!("fig08/{}/{}", specs[d].0, apps[k]))
+        .collect();
+    let runs = cfg.grid(&labels, cells, |i, (d, k)| {
+        let mut gov = MimoGovernor::new(designs[d].controller.clone());
+        let mut plant = setup::try_plant(apps[k], InputSet::FreqCache, cfg.seed + 60 + k as u64)
+            .map_err(|e| cell_err(&labels[i], e))?;
+        Ok(run_tracking(&mut gov, &mut plant, &targets, epochs, false))
+    });
+    let runs: Vec<TrackingStats> = runs.into_iter().collect::<mimo_core::Result<_>>()?;
+
+    let mut points = Vec::new();
+    for (d, run_block) in runs.chunks(apps.len()).enumerate() {
         let mut sum_f = 0.0;
         let mut sum_c = 0.0;
         let mut n = 0.0;
-        // Measure within the first program phase (convergence from initial
-        // conditions, as in the paper's figure).
-        let epochs = cfg.tracking_epochs.min(2200);
-        for (k, app) in apps.iter().enumerate() {
-            let mut gov = MimoGovernor::new(validated.controller.clone());
-            let mut plant = setup::plant(app, InputSet::FreqCache, cfg.seed + 60 + k as u64);
-            let stats = run_tracking(&mut gov, &mut plant, &targets, epochs, false);
+        for stats in run_block {
             if let (Some(f), Some(c)) = (stats.steady_epoch[0], stats.steady_epoch[1]) {
                 sum_f += f as f64;
                 sum_c += c as f64;
@@ -316,7 +410,7 @@ pub fn fig08(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig08Point>> {
             }
         }
         points.push(Fig08Point {
-            label: label.to_string(),
+            label: specs[d].0.to_string(),
             steady_freq: if n > 0.0 { sum_f / n } else { f64::NAN },
             steady_cache: if n > 0.0 { sum_c / n } else { f64::NAN },
         });
@@ -339,7 +433,7 @@ pub fn fig08(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig08Point>> {
                 &rows
             )
         );
-        let _ = report::write_csv(
+        let _ = cfg.results.write_csv(
             "fig08_guardband.csv",
             &["label", "steady_freq", "steady_cache"],
             &rows,
@@ -391,52 +485,87 @@ pub fn optimization_experiment(
     metric: Metric,
 ) -> mimo_core::Result<OptResult> {
     let with_decoupled = input_set == InputSet::FreqCache;
-    let baseline_cfg = setup::baseline_config(input_set, metric, cfg.seed);
-    let mimo = setup::design_mimo(input_set, cfg.seed)?;
-    let ranking = setup::heuristic_ranking(input_set, cfg.seed);
+    // All four architecture designs come from the shared cache: every
+    // figure/table that deploys the same (input_set, seed) design reuses
+    // one synthesis instead of re-running excitation + DARE.
+    let baseline_cfg = cfg.cache.baseline_config(input_set, metric, cfg.seed);
+    let mimo = cfg.cache.design_mimo(input_set, cfg.seed)?;
+    let ranking = cfg.cache.heuristic_ranking(input_set, cfg.seed);
     let decoupled = if with_decoupled {
-        Some(setup::decoupled_governor(cfg.seed)?)
+        Some(cfg.cache.decoupled_governor(cfg.seed)?)
     } else {
         None
     };
+    let grids: Vec<Vec<f64>> = input_set
+        .grids()
+        .iter()
+        .map(|g| g.values().to_vec())
+        .collect();
+
+    // One grid cell per (app, architecture); each owns a fresh plant with
+    // the serial code's seed formula, so the normalized numbers are
+    // identical at any job count.
+    let archs: &[&str] = if with_decoupled {
+        &["baseline", "mimo", "heuristic", "decoupled"]
+    } else {
+        &["baseline", "mimo", "heuristic"]
+    };
+    let apps = cfg.app_list();
+    let cells: Vec<(usize, usize)> = (0..apps.len())
+        .flat_map(|k| (0..archs.len()).map(move |a| (k, a)))
+        .collect();
+    let labels: Vec<String> = cells
+        .iter()
+        .map(|&(k, a)| {
+            format!(
+                "opt_{}in_k{}/{}/{}",
+                input_set.len(),
+                metric.exponent(),
+                apps[k],
+                archs[a]
+            )
+        })
+        .collect();
+    let products = cfg.grid(&labels, cells, |i, (k, a)| -> mimo_core::Result<f64> {
+        let seed = cfg.seed + 1000 + k as u64;
+        let mut plant =
+            setup::try_plant(apps[k], input_set, seed).map_err(|e| cell_err(&labels[i], e))?;
+        let run = match archs[a] {
+            "baseline" => {
+                let mut gov = mimo_core::governor::FixedGovernor::new(Vector::from_slice(
+                    &baseline_cfg.to_actuation(input_set),
+                ));
+                run_self_directed(&mut gov, &mut plant, metric, cfg.budget_g)
+            }
+            "mimo" => {
+                let mut gov = MimoGovernor::new(mimo.controller.clone());
+                run_optimization(&mut gov, &mut plant, metric, cfg.budget_g)
+            }
+            "heuristic" => {
+                let mut gov =
+                    HeuristicOptimizer::new(grids.clone(), ranking.clone(), metric, MAX_TRIES);
+                run_self_directed(&mut gov, &mut plant, metric, cfg.budget_g)
+            }
+            _ => {
+                let mut gov = decoupled
+                    .clone()
+                    .expect("decoupled arch only when designed");
+                run_optimization(&mut gov, &mut plant, metric, cfg.budget_g)
+            }
+        };
+        Ok(run.ed_product)
+    });
+    let products: Vec<f64> = products.into_iter().collect::<mimo_core::Result<_>>()?;
 
     let mut rows = Vec::new();
-    for (k, app) in cfg.app_list().into_iter().enumerate() {
-        let seed = cfg.seed + 1000 + k as u64;
-        // Baseline.
-        let mut base_gov = mimo_core::governor::FixedGovernor::new(Vector::from_slice(
-            &baseline_cfg.to_actuation(input_set),
-        ));
-        let mut plant = setup::plant(app, input_set, seed);
-        let base = run_self_directed(&mut base_gov, &mut plant, metric, cfg.budget_g);
-
-        // MIMO.
-        let mut mimo_gov = MimoGovernor::new(mimo.controller.clone());
-        let mut plant = setup::plant(app, input_set, seed);
-        let m = run_optimization(&mut mimo_gov, &mut plant, metric, cfg.budget_g);
-
-        // Heuristic (its own search).
-        let grids: Vec<Vec<f64>> = input_set
-            .grids()
-            .iter()
-            .map(|g| g.values().to_vec())
-            .collect();
-        let mut heur_gov = HeuristicOptimizer::new(grids, ranking.clone(), metric, MAX_TRIES);
-        let mut plant = setup::plant(app, input_set, seed);
-        let h = run_self_directed(&mut heur_gov, &mut plant, metric, cfg.budget_g);
-
-        // Decoupled (2-input only).
-        let d = decoupled.as_ref().map(|gov| {
-            let mut gov = gov.clone();
-            let mut plant = setup::plant(app, input_set, seed);
-            run_optimization(&mut gov, &mut plant, metric, cfg.budget_g)
-        });
-
+    for (k, app) in apps.into_iter().enumerate() {
+        let cell = |a: usize| products[k * archs.len() + a];
+        let base = cell(0);
         rows.push(OptRow {
             app,
-            mimo: m.ed_product / base.ed_product,
-            heuristic: h.ed_product / base.ed_product,
-            decoupled: d.map(|d| d.ed_product / base.ed_product),
+            mimo: cell(1) / base,
+            heuristic: cell(2) / base,
+            decoupled: with_decoupled.then(|| cell(3) / base),
         });
     }
 
@@ -453,12 +582,12 @@ pub fn optimization_experiment(
         avg_decoupled,
     };
     if cfg.emit {
-        emit_opt(&result, input_set, metric);
+        emit_opt(cfg, &result, input_set, metric);
     }
     Ok(result)
 }
 
-fn emit_opt(result: &OptResult, input_set: InputSet, metric: Metric) {
+fn emit_opt(cfg: &ExpConfig, result: &OptResult, input_set: InputSet, metric: Metric) {
     let k = metric.exponent();
     let title = format!(
         "E×D^{} normalized to Baseline ({} inputs)",
@@ -491,7 +620,9 @@ fn emit_opt(result: &OptResult, input_set: InputSet, metric: Metric) {
         report::ascii_table(&["app", "MIMO", "Heuristic", "Decoupled"], &rows)
     );
     let name = format!("opt_{}in_k{}.csv", input_set.len(), k);
-    let _ = report::write_csv(&name, &["app", "mimo", "heuristic", "decoupled"], &rows);
+    let _ = cfg
+        .results
+        .write_csv(&name, &["app", "mimo", "heuristic", "decoupled"], &rows);
 }
 
 // ---------------------------------------------------------------------------
@@ -530,33 +661,66 @@ pub struct Fig11Result {
 /// Propagates design failures.
 pub fn fig11(cfg: &ExpConfig) -> mimo_core::Result<Fig11Result> {
     let targets = Vector::from_slice(&[TARGET_IPS, TARGET_POWER]);
-    let mimo = setup::design_mimo(InputSet::FreqCache, cfg.seed)?;
-    let ranking = setup::heuristic_ranking(InputSet::FreqCache, cfg.seed);
-    let decoupled = setup::decoupled_governor(cfg.seed)?;
+    let mimo = cfg.cache.design_mimo(InputSet::FreqCache, cfg.seed)?;
+    let ranking = cfg.cache.heuristic_ranking(InputSet::FreqCache, cfg.seed);
+    let decoupled = cfg.cache.decoupled_governor(cfg.seed)?;
     let grids: Vec<Vec<f64>> = InputSet::FreqCache
         .grids()
         .iter()
         .map(|g| g.values().to_vec())
         .collect();
 
-    let mut rows = Vec::new();
-    for (k, app) in cfg.app_list().into_iter().enumerate() {
-        let seed = cfg.seed + 2000 + k as u64;
-        let mut err_ips = [0.0; 3];
-        let mut err_power = [0.0; 3];
-        for (a, gov) in [
-            &mut MimoGovernor::new(mimo.controller.clone()) as &mut dyn Governor,
-            &mut HeuristicTracker::new(grids.clone(), ranking.clone(), targets.clone()),
-            &mut decoupled.clone(),
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let mut plant = setup::plant(app, InputSet::FreqCache, seed);
+    // One grid cell per (app, architecture); arch index 0/1/2 = MIMO /
+    // Heuristic / Decoupled, as in the row arrays.
+    const ARCHS: [&str; 3] = ["mimo", "heuristic", "decoupled"];
+    let apps = cfg.app_list();
+    let cells: Vec<(usize, usize)> = (0..apps.len())
+        .flat_map(|k| (0..ARCHS.len()).map(move |a| (k, a)))
+        .collect();
+    let labels: Vec<String> = cells
+        .iter()
+        .map(|&(k, a)| format!("fig11/{}/{}", apps[k], ARCHS[a]))
+        .collect();
+    let errs = cfg.grid(
+        &labels,
+        cells,
+        |i, (k, a)| -> mimo_core::Result<(f64, f64)> {
+            let seed = cfg.seed + 2000 + k as u64;
+            let mut plant = setup::try_plant(apps[k], InputSet::FreqCache, seed)
+                .map_err(|e| cell_err(&labels[i], e))?;
+            let mut mimo_gov;
+            let mut heur_gov;
+            let mut dec_gov;
+            let gov: &mut dyn Governor = match a {
+                0 => {
+                    mimo_gov = MimoGovernor::new(mimo.controller.clone());
+                    &mut mimo_gov
+                }
+                1 => {
+                    heur_gov =
+                        HeuristicTracker::new(grids.clone(), ranking.clone(), targets.clone());
+                    &mut heur_gov
+                }
+                _ => {
+                    dec_gov = decoupled.clone();
+                    &mut dec_gov
+                }
+            };
             let stats: TrackingStats =
                 run_tracking(gov, &mut plant, &targets, cfg.tracking_epochs, false);
-            err_ips[a] = stats.avg_err_pct[0];
-            err_power[a] = stats.avg_err_pct[1];
+            Ok((stats.avg_err_pct[0], stats.avg_err_pct[1]))
+        },
+    );
+    let errs: Vec<(f64, f64)> = errs.into_iter().collect::<mimo_core::Result<_>>()?;
+
+    let mut rows = Vec::new();
+    for (k, app) in apps.into_iter().enumerate() {
+        let mut err_ips = [0.0; 3];
+        let mut err_power = [0.0; 3];
+        for a in 0..ARCHS.len() {
+            let (ips, power) = errs[k * ARCHS.len() + a];
+            err_ips[a] = ips;
+            err_power[a] = power;
         }
         rows.push(Fig11Row {
             app,
@@ -617,7 +781,7 @@ pub fn fig11(cfg: &ExpConfig) -> mimo_core::Result<Fig11Result> {
                 &table_rows
             )
         );
-        let _ = report::write_csv(
+        let _ = cfg.results.write_csv(
             "fig11_tracking.csv",
             &[
                 "app", "class", "mimo_ips", "mimo_p", "heur_ips", "heur_p", "dec_ips", "dec_p",
@@ -670,9 +834,9 @@ pub struct Fig12Run {
 /// Propagates design failures.
 pub fn fig12(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig12Run>> {
     let schedule = BatterySchedule::paper_default().schedule(cfg.schedule_epochs);
-    let mimo = setup::design_mimo(InputSet::FreqCache, cfg.seed)?;
-    let ranking = setup::heuristic_ranking(InputSet::FreqCache, cfg.seed);
-    let decoupled = setup::decoupled_governor(cfg.seed)?;
+    let mimo = cfg.cache.design_mimo(InputSet::FreqCache, cfg.seed)?;
+    let ranking = cfg.cache.heuristic_ranking(InputSet::FreqCache, cfg.seed);
+    let decoupled = cfg.cache.decoupled_governor(cfg.seed)?;
     let grids: Vec<Vec<f64>> = InputSet::FreqCache
         .grids()
         .iter()
@@ -680,10 +844,23 @@ pub fn fig12(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig12Run>> {
         .collect();
     let first_targets = schedule[0].targets.clone();
 
-    let mut runs = Vec::new();
-    for (k, app) in ["astar", "milc"].into_iter().enumerate() {
-        for arch in ["MIMO", "Heuristic", "Decoupled"] {
-            let mut plant = setup::plant(app, InputSet::FreqCache, cfg.seed + 3000 + k as u64);
+    // One grid cell per (app, architecture).
+    const APPS: [&str; 2] = ["astar", "milc"];
+    const ARCHS: [&str; 3] = ["MIMO", "Heuristic", "Decoupled"];
+    let cells: Vec<(usize, &'static str)> = (0..APPS.len())
+        .flat_map(|k| ARCHS.iter().map(move |&arch| (k, arch)))
+        .collect();
+    let labels: Vec<String> = cells
+        .iter()
+        .map(|&(k, arch)| format!("fig12/{}/{arch}", APPS[k]))
+        .collect();
+    let runs = cfg.grid(
+        &labels,
+        cells,
+        |i, (k, arch)| -> mimo_core::Result<Fig12Run> {
+            let app = APPS[k];
+            let mut plant = setup::try_plant(app, InputSet::FreqCache, cfg.seed + 3000 + k as u64)
+                .map_err(|e| cell_err(&labels[i], e))?;
             let trace = match arch {
                 "MIMO" => {
                     let mut gov = MimoGovernor::new(mimo.controller.clone());
@@ -702,9 +879,10 @@ pub fn fig12(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig12Run>> {
                     run_schedule(&mut gov, &mut plant, &schedule, cfg.schedule_epochs)
                 }
             };
-            runs.push(Fig12Run { app, arch, trace });
-        }
-    }
+            Ok(Fig12Run { app, arch, trace })
+        },
+    );
+    let runs: Vec<Fig12Run> = runs.into_iter().collect::<mimo_core::Result<_>>()?;
     if cfg.emit {
         // CSV: one decimated trace per app (epoch, ref, mimo, heur, dec).
         for app in ["astar", "milc"] {
@@ -721,7 +899,7 @@ pub fn fig12(cfg: &ExpConfig) -> mimo_core::Result<Vec<Fig12Run>> {
                     report::fmt(per_arch[2].trace.outputs[t][0], 3),
                 ]);
             }
-            let _ = report::write_csv(
+            let _ = cfg.results.write_csv(
                 &format!("fig12_{app}.csv"),
                 &["epoch", "ref_ips", "mimo_ips", "heur_ips", "dec_ips"],
                 &rows,
@@ -764,25 +942,28 @@ pub struct FleetScalePoint {
 ///
 /// # Errors
 ///
-/// Propagates controller-design failures; panics only on invalid fleet
-/// configuration, which the fixed sweep cannot produce.
+/// Propagates controller-design failures and fleet configuration/run
+/// failures, naming the failing `(n_cores, workers)` cell.
 pub fn fleet_scale(cfg: &ExpConfig) -> mimo_core::Result<Vec<FleetScalePoint>> {
-    let design = setup::design_mimo(InputSet::FreqCache, cfg.seed)?;
+    let design = cfg.cache.design_mimo(InputSet::FreqCache, cfg.seed)?;
     let epochs = cfg.tracking_epochs.min(1000);
     let multi = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
     let worker_counts = [1usize, multi];
 
+    // The fleet runner drives its own worker pool, so this sweep stays
+    // serial at the harness level rather than oversubscribing the host.
     let mut points = Vec::new();
     for &n in &[1usize, 4, 16, 64] {
         for &w in &worker_counts {
+            let label = format!("fleet-scale/n{n}/w{w}");
             let fleet_cfg = mimo_fleet::FleetConfig::new(n)
                 .workers(w)
                 .epochs(epochs)
                 .seed(cfg.seed);
-            let runner =
+            let stats =
                 mimo_fleet::FleetRunner::with_shared_controller(fleet_cfg, &design.controller)
-                    .expect("fleet config");
-            let stats = runner.run().expect("validated fleet config");
+                    .and_then(mimo_fleet::FleetRunner::run)
+                    .map_err(|e| cell_err(&label, e))?;
             let digest = stats.digest();
             points.push(FleetScalePoint { stats, digest });
         }
@@ -803,12 +984,14 @@ pub fn fleet_scale(cfg: &ExpConfig) -> mimo_core::Result<Vec<FleetScalePoint>> {
                     report::fmt(s.avg_chip_power_w, 3),
                     report::fmt(s.peak_chip_power_w, 3),
                     report::fmt(s.cap_violation_pct, 2),
-                    report::fmt(s.epochs_per_sec, 0),
                     format!("{:016x}", p.digest),
                 ]
             })
             .collect();
-        let path = report::write_csv(
+        // No wall-clock columns in the CSV: results files must be
+        // bit-identical across runs and job counts (CI diffs them), so
+        // throughput goes to stdout and BENCH_harness.json instead.
+        let path = cfg.results.write_csv(
             "fleet_scale.csv",
             &[
                 "n_cores",
@@ -820,7 +1003,6 @@ pub fn fleet_scale(cfg: &ExpConfig) -> mimo_core::Result<Vec<FleetScalePoint>> {
                 "avg_chip_w",
                 "peak_chip_w",
                 "cap_violation_pct",
-                "epochs_per_sec",
                 "digest",
             ],
             &rows,
@@ -880,8 +1062,8 @@ pub struct FaultSweepPoint {
 ///
 /// # Errors
 ///
-/// Propagates controller-design failures; panics only on invalid fleet
-/// configuration, which the fixed sweep cannot produce.
+/// Propagates controller-design failures and fleet configuration/run
+/// failures, naming the failing `(rate, policy)` cell.
 pub fn fault_sweep(cfg: &ExpConfig) -> mimo_core::Result<Vec<FaultSweepPoint>> {
     fault_sweep_traced(cfg, None).map(|(points, _)| points)
 }
@@ -900,7 +1082,7 @@ pub fn fault_sweep_traced(
 ) -> mimo_core::Result<(Vec<FaultSweepPoint>, Option<mimo_fleet::FleetTelemetry>)> {
     use mimo_fleet::ArbitrationPolicy;
 
-    let design = setup::design_mimo(InputSet::FreqCache, cfg.seed)?;
+    let design = cfg.cache.design_mimo(InputSet::FreqCache, cfg.seed)?;
     let epochs = cfg.tracking_epochs.min(600);
     let n = 16;
     let rates = [0.0, 0.002, 0.01, 0.05];
@@ -923,11 +1105,11 @@ pub fn fault_sweep_traced(
             if let Some(t) = &telemetry {
                 fleet_cfg = fleet_cfg.observer(t.clone());
             }
+            let label = format!("fault-sweep/r{rate}/{policy:?}");
             let (stats, tele) =
                 mimo_fleet::FleetRunner::with_shared_controller(fleet_cfg, &design.controller)
-                    .expect("fleet config")
-                    .run_traced()
-                    .expect("validated fleet config");
+                    .and_then(mimo_fleet::FleetRunner::run_traced)
+                    .map_err(|e| cell_err(&label, e))?;
             if tele.is_enabled() {
                 last_telemetry = Some(tele);
             }
@@ -953,12 +1135,13 @@ pub fn fault_sweep_traced(
                     report::fmt(s.cap_violation_pct, 2),
                     s.fault_epochs.to_string(),
                     s.quarantined_cores.to_string(),
-                    report::fmt(s.epochs_per_sec, 0),
                     format!("{:016x}", s.digest()),
                 ]
             })
             .collect();
-        let path = report::write_csv(
+        // Like fleet_scale.csv: no wall-clock column, so the file is
+        // byte-stable for the CI determinism diff.
+        let path = cfg.results.write_csv(
             "fault_sweep.csv",
             &[
                 "fault_rate",
@@ -970,7 +1153,6 @@ pub fn fault_sweep_traced(
                 "cap_violation_pct",
                 "fault_epochs",
                 "quarantined_cores",
-                "epochs_per_sec",
                 "digest",
             ],
             &rows,

@@ -6,52 +6,118 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
-/// Process-wide override of the results directory, installed by the
-/// `mimo-exp` CLI's `--out` flag.
+/// Process-wide override of the results directory, kept only for the
+/// deprecated [`set_results_dir`] shim; new code threads a [`ResultsDir`]
+/// handle instead.
 static RESULTS_DIR_OVERRIDE: OnceLock<PathBuf> = OnceLock::new();
 
-/// Overrides where experiment CSVs land for the rest of the process (used
-/// by the `mimo-exp` CLI's `--out` flag). The first call wins; returns
-/// whether this call installed the override.
+/// An explicit handle to the directory experiment artifacts land in.
+///
+/// Writers receive this handle (via `ExpConfig::results`) instead of
+/// consulting process-global state, so concurrent subcommands and parallel
+/// grid cells cannot race on cwd- or override-derived paths: every write
+/// resolves against the same immutable handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultsDir(PathBuf);
+
+impl ResultsDir {
+    /// A handle rooted at an explicit directory (the CLI's `--out`).
+    pub fn new<P: Into<PathBuf>>(dir: P) -> Self {
+        ResultsDir(dir.into())
+    }
+
+    /// The legacy discovery rule: the deprecated [`set_results_dir`]
+    /// override if one was installed, else the first existing `results`
+    /// directory walking up from the current directory, else `results`.
+    pub fn discover() -> Self {
+        if let Some(dir) = RESULTS_DIR_OVERRIDE.get() {
+            return ResultsDir(dir.clone());
+        }
+        let candidates = ["results", "../results", "../../results"];
+        for c in candidates {
+            let p = Path::new(c);
+            if p.is_dir() {
+                return ResultsDir(p.to_path_buf());
+            }
+        }
+        ResultsDir(PathBuf::from("results"))
+    }
+
+    /// The directory this handle writes into.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+
+    /// Path of a named artifact inside the results directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+
+    /// Writes a CSV file with a header row into the results directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(
+        &self,
+        name: &str,
+        header: &[&str],
+        rows: &[Vec<String>],
+    ) -> io::Result<PathBuf> {
+        let mut out = String::new();
+        out.push_str(&header.join(","));
+        out.push('\n');
+        for row in rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        self.write_text(name, &out)
+    }
+
+    /// Writes a text artifact (e.g. `BENCH_harness.json`) into the
+    /// results directory, creating it if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_text(&self, name: &str, contents: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.0)?;
+        let path = self.0.join(name);
+        fs::write(&path, contents)?;
+        Ok(path)
+    }
+}
+
+impl Default for ResultsDir {
+    fn default() -> Self {
+        ResultsDir::discover()
+    }
+}
+
+/// Overrides the directory [`ResultsDir::discover`] resolves to for the
+/// rest of the process. The first call wins; returns whether this call
+/// installed the override.
+#[deprecated(
+    note = "construct a `ResultsDir` and thread it to writers (e.g. `ExpConfig::results`) instead"
+)]
 pub fn set_results_dir<P: Into<PathBuf>>(dir: P) -> bool {
     RESULTS_DIR_OVERRIDE.set(dir.into()).is_ok()
 }
 
-/// Directory experiment CSVs land in: the [`set_results_dir`] override if
-/// one was installed, else the first existing `results` directory walking
-/// up from the current directory, else `results`.
+/// Directory experiment CSVs land in under the legacy discovery rule.
+#[deprecated(note = "use `ResultsDir::discover().path()` or an explicit `ResultsDir`")]
 pub fn results_dir() -> PathBuf {
-    if let Some(dir) = RESULTS_DIR_OVERRIDE.get() {
-        return dir.clone();
-    }
-    let candidates = ["results", "../results", "../../results"];
-    for c in candidates {
-        let p = Path::new(c);
-        if p.is_dir() {
-            return p.to_path_buf();
-        }
-    }
-    PathBuf::from("results")
+    ResultsDir::discover().0
 }
 
-/// Writes a CSV file with a header row into the results directory.
+/// Writes a CSV file into the legacy-discovered results directory.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
+#[deprecated(note = "use `ResultsDir::write_csv` on an explicit handle")]
 pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
-    let dir = results_dir();
-    fs::create_dir_all(&dir)?;
-    let path = dir.join(name);
-    let mut out = String::new();
-    out.push_str(&header.join(","));
-    out.push('\n');
-    for row in rows {
-        out.push_str(&row.join(","));
-        out.push('\n');
-    }
-    fs::write(&path, out)?;
-    Ok(path)
+    ResultsDir::discover().write_csv(name, header, rows)
 }
 
 /// Renders an ASCII table: `header` then one row per entry.
@@ -160,10 +226,30 @@ mod tests {
 
     #[test]
     fn csv_round_trip() {
+        let dir = ResultsDir::new(
+            std::env::temp_dir().join(format!("mimo_report_unit_{}", std::process::id())),
+        );
         let rows = vec![vec!["a".to_string(), "1".to_string()]];
-        let path = write_csv("test_report_unit.csv", &["name", "v"], &rows).unwrap();
+        let path = dir
+            .write_csv("test_report_unit.csv", &["name", "v"], &rows)
+            .unwrap();
+        assert_eq!(path, dir.join("test_report_unit.csv"));
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "name,v\na,1\n");
+        std::fs::remove_file(path).unwrap();
+        std::fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_still_write() {
+        // The deprecated free functions must keep working for external
+        // callers until the next breaking release.
+        let rows = vec![vec!["b".to_string(), "2".to_string()]];
+        let path = write_csv("test_report_shim.csv", &["name", "v"], &rows).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "name,v\nb,2\n");
+        assert_eq!(path, results_dir().join("test_report_shim.csv"));
         std::fs::remove_file(path).unwrap();
     }
 

@@ -18,12 +18,25 @@ use mimo_sim::{InputSet, PlantConfig, Processor, ProcessorBuilder};
 /// Panics if `app` is not in the catalog (experiment code uses the fixed
 /// catalog names).
 pub fn plant(app: &str, input_set: InputSet, seed: u64) -> Processor {
+    try_plant(app, input_set, seed).expect("catalog app")
+}
+
+/// Fallible [`plant`]: grid cells use this so one bad workload name
+/// reports (with the app attached) instead of aborting the whole sweep.
+///
+/// # Errors
+///
+/// Returns [`mimo_core::ControlError::ValidationFailed`] naming the app
+/// when it is not in the catalog.
+pub fn try_plant(app: &str, input_set: InputSet, seed: u64) -> Result<Processor> {
     ProcessorBuilder::new()
         .app(app)
         .seed(seed)
         .input_set(input_set)
         .build()
-        .expect("catalog app")
+        .map_err(|e| mimo_core::ControlError::ValidationFailed {
+            what: format!("plant '{app}': {e}"),
+        })
 }
 
 /// The four training plants of §VII-A.

@@ -1,0 +1,252 @@
+//! Wall-clock instrumentation for the harness (`--timing`).
+//!
+//! Records per-subcommand and per-cell wall time during a run and renders
+//! them as `BENCH_harness.json` — the perf trajectory artifact CI uploads.
+//! The sink is disabled by default and costs one `Option` check per record
+//! call when off, so the hot path of an untimed run is untouched.
+//!
+//! Timing is observational only: it never feeds back into cell results, so
+//! CSVs stay bit-identical whether or not `--timing` is on (the CI
+//! determinism diff excludes `BENCH_harness.json` for exactly this reason).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One timed grid cell inside a subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// Cell label, e.g. `fig11/astar/mimo`.
+    pub label: String,
+    /// Wall-clock seconds the cell took.
+    pub wall_s: f64,
+}
+
+/// One timed subcommand (fig06, tab-opt, ...).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SubcommandTiming {
+    /// Subcommand name as the CLI spells it.
+    pub name: String,
+    /// Wall-clock seconds for the whole subcommand.
+    pub wall_s: f64,
+    /// Per-cell breakdown, in cell order.
+    pub cells: Vec<CellTiming>,
+}
+
+#[derive(Debug, Default)]
+struct TimerState {
+    subcommands: Vec<SubcommandTiming>,
+    /// Cells recorded since the current subcommand began.
+    pending_cells: Vec<CellTiming>,
+}
+
+/// A shareable wall-clock recorder. A disabled sink (the default) records
+/// nothing; [`TimingSink::enabled`] builds one that accumulates.
+#[derive(Debug, Clone, Default)]
+pub struct TimingSink {
+    state: Option<Arc<Mutex<TimerState>>>,
+}
+
+impl TimingSink {
+    /// A sink that discards everything (no `--timing`).
+    pub fn disabled() -> Self {
+        TimingSink::default()
+    }
+
+    /// A sink that accumulates timings for [`TimingSink::render_json`].
+    pub fn enabled() -> Self {
+        TimingSink {
+            state: Some(Arc::new(Mutex::new(TimerState::default()))),
+        }
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Times `f` as subcommand `name`, folding in any cells recorded
+    /// while it ran.
+    pub fn subcommand<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let Some(state) = &self.state else {
+            return f();
+        };
+        let start = Instant::now();
+        let r = f();
+        let wall_s = start.elapsed().as_secs_f64();
+        let mut s = state.lock().expect("timing sink poisoned");
+        let cells = std::mem::take(&mut s.pending_cells);
+        s.subcommands.push(SubcommandTiming {
+            name: name.to_string(),
+            wall_s,
+            cells,
+        });
+        r
+    }
+
+    /// Records one grid cell's wall time; attributed to the subcommand
+    /// whose `subcommand` call is currently in flight.
+    pub fn record_cell(&self, label: &str, wall_s: f64) {
+        if let Some(state) = &self.state {
+            state
+                .lock()
+                .expect("timing sink poisoned")
+                .pending_cells
+                .push(CellTiming {
+                    label: label.to_string(),
+                    wall_s,
+                });
+        }
+    }
+
+    /// Snapshot of all completed subcommand timings, in run order.
+    pub fn subcommands(&self) -> Vec<SubcommandTiming> {
+        match &self.state {
+            Some(state) => state
+                .lock()
+                .expect("timing sink poisoned")
+                .subcommands
+                .clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Renders the `BENCH_harness.json` document. `wall_s` is the whole
+    /// run (flag parse to exit), `jobs`/`epochs` echo the effective
+    /// configuration, and `(hits, misses)` are the design-cache counters.
+    pub fn render_json(
+        &self,
+        jobs: usize,
+        epochs: usize,
+        wall_s: f64,
+        hits: u64,
+        misses: u64,
+    ) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"mimo-exp-harness-timing/1\",\n");
+        out.push_str(&format!("  \"jobs\": {jobs},\n"));
+        out.push_str(&format!("  \"epochs\": {epochs},\n"));
+        out.push_str(&format!("  \"wall_s\": {},\n", json_f64(wall_s)));
+        out.push_str(&format!(
+            "  \"design_cache\": {{ \"hits\": {hits}, \"misses\": {misses} }},\n"
+        ));
+        out.push_str("  \"subcommands\": [");
+        let subs = self.subcommands();
+        for (i, sub) in subs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{ \"name\": {}, \"wall_s\": {}, \"cells\": [",
+                json_str(&sub.name),
+                json_f64(sub.wall_s)
+            ));
+            for (j, cell) in sub.cells.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      {{ \"label\": {}, \"wall_s\": {} }}",
+                    json_str(&cell.label),
+                    json_f64(cell.wall_s)
+                ));
+            }
+            if sub.cells.is_empty() {
+                out.push_str("] }");
+            } else {
+                out.push_str("\n    ] }");
+            }
+        }
+        if subs.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes our labels can need.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite float as JSON (6 decimal places — microsecond resolution).
+fn json_f64(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TimingSink::disabled();
+        assert!(!sink.is_enabled());
+        let r = sink.subcommand("fig06", || {
+            sink.record_cell("fig06/Equal", 0.5);
+            42
+        });
+        assert_eq!(r, 42);
+        assert!(sink.subcommands().is_empty());
+    }
+
+    #[test]
+    fn cells_attach_to_their_subcommand() {
+        let sink = TimingSink::enabled();
+        sink.subcommand("fig06", || {
+            sink.record_cell("fig06/Equal", 0.25);
+            sink.record_cell("fig06/Power", 0.5);
+        });
+        sink.subcommand("fig07", || {});
+        let subs = sink.subcommands();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].name, "fig06");
+        assert_eq!(subs[0].cells.len(), 2);
+        assert_eq!(subs[0].cells[1].label, "fig06/Power");
+        assert!(subs[1].cells.is_empty());
+        assert!(subs[0].wall_s >= 0.0);
+    }
+
+    #[test]
+    fn render_json_matches_schema() {
+        let sink = TimingSink::enabled();
+        sink.subcommand("fig06", || sink.record_cell("fig06/Equal", 0.125));
+        let doc = sink.render_json(4, 500, 1.5, 9, 3);
+        assert!(doc.contains("\"schema\": \"mimo-exp-harness-timing/1\""));
+        assert!(doc.contains("\"jobs\": 4"));
+        assert!(doc.contains("\"epochs\": 500"));
+        assert!(doc.contains("\"hits\": 9, \"misses\": 3"));
+        assert!(doc.contains("\"label\": \"fig06/Equal\", \"wall_s\": 0.125000"));
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("tab\u{0009}"), "\"tab\\u0009\"");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let sink = TimingSink::enabled();
+        let clone = sink.clone();
+        sink.subcommand("fig06", || clone.record_cell("x", 0.1));
+        assert_eq!(clone.subcommands()[0].cells.len(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! The harness's determinism guarantee: CSV output is byte-identical at
+//! any `--jobs` count, because cells own index-seeded plants and results
+//! are always collected in cell order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mimo_core::optimizer::Metric;
+use mimo_exp::experiments::{self, ExpConfig};
+use mimo_exp::report::ResultsDir;
+use mimo_sim::InputSet;
+
+/// A config small enough for a test but exercising real parallel grids:
+/// fig06's four weight-set cells and tab-opt's (app × architecture) cells.
+fn test_config(jobs: usize, out: &Path) -> ExpConfig {
+    let mut cfg = ExpConfig::quick();
+    cfg.emit = true;
+    cfg.jobs = jobs;
+    cfg.results = ResultsDir::new(out);
+    cfg.apps = Some(vec!["astar", "milc", "mcf"]);
+    cfg.budget_g = 0.3;
+    cfg.tracking_epochs = 600;
+    cfg
+}
+
+fn run_suite(jobs: usize, out: &Path) {
+    let cfg = test_config(jobs, out);
+    experiments::fig06(&cfg).expect("fig06");
+    // tab-opt is two optimization experiments; Energy alone keeps the
+    // test fast while covering the (app, architecture) grid.
+    experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::Energy)
+        .expect("tab-opt/E");
+}
+
+fn temp_results_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mimo_parallel_determinism_{}_{tag}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn csv_output_is_byte_identical_across_job_counts() {
+    let serial_dir = temp_results_dir("j1");
+    let parallel_dir = temp_results_dir("j4");
+    run_suite(1, &serial_dir);
+    run_suite(4, &parallel_dir);
+
+    let files = ["fig06_weights.csv", "opt_2in_k1.csv"];
+    for name in files {
+        let serial = fs::read(serial_dir.join(name))
+            .unwrap_or_else(|e| panic!("missing {name} from serial run: {e}"));
+        let parallel = fs::read(parallel_dir.join(name))
+            .unwrap_or_else(|e| panic!("missing {name} from parallel run: {e}"));
+        assert!(!serial.is_empty(), "{name} is empty");
+        assert_eq!(
+            serial, parallel,
+            "{name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+
+    let _ = fs::remove_dir_all(&serial_dir);
+    let _ = fs::remove_dir_all(&parallel_dir);
+}
+
+#[test]
+fn design_cache_dedupes_repeated_experiments() {
+    // Running the same optimization experiment twice through one config
+    // must hit the cache for every design artifact the second time.
+    let dir = temp_results_dir("cache");
+    let mut cfg = test_config(1, &dir);
+    cfg.emit = false;
+    experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::Energy).expect("pass1");
+    let (_, misses_after_first) = cfg.cache.stats();
+    experiments::optimization_experiment(&cfg, InputSet::FreqCache, Metric::Energy).expect("pass2");
+    let (hits, misses) = cfg.cache.stats();
+    assert_eq!(
+        misses, misses_after_first,
+        "second pass must not recompute any design"
+    );
+    assert!(hits >= 4, "baseline/mimo/ranking/decoupled should all hit");
+    let _ = fs::remove_dir_all(&dir);
+}
