@@ -68,6 +68,16 @@ fn main() {
     });
     let step_into_allocs = count(EPOCHS, || ctrl.step_into(&y, &mut out));
 
+    // The stack-allocated controller the fleet steps after `fast_governor`.
+    let mut fixed = design
+        .controller
+        .clone()
+        .into_static::<2, 2, 4, 8>()
+        .expect("two-input architecture is 2-in/2-out/4-state");
+    fixed.set_reference(&Vector::from_slice(&[2.8, 1.9]));
+    fixed.step_into(&y, &mut out); // warm
+    let static_step_allocs = count(EPOCHS, || fixed.step_into(&y, &mut out));
+
     let gov = MimoGovernor::new(design.controller.clone());
     let plant = setup::plant("astar", InputSet::FreqCache, 6);
     let mut lp = EpochLoop::new(gov, plant);
@@ -117,12 +127,17 @@ fn main() {
     println!("allocations per epoch over {EPOCHS} epochs:");
     println!("  lqg step (allocating API)   {step_allocs:.3}");
     println!("  lqg step_into (scratch)     {step_into_allocs:.3}");
+    println!("  lqg step_into (static)      {static_step_allocs:.3}");
     println!("  engine epoch (gov + plant)  {engine_allocs:.3}");
     println!("  faulting engine epoch       {faulting_allocs:.3}  ({faulted} epochs faulted)");
     println!("  observed engine epoch       {observed_allocs:.3}  (ring holds {traced} records)");
     assert_eq!(
         step_into_allocs, 0.0,
         "scratch step must be allocation-free"
+    );
+    assert_eq!(
+        static_step_allocs, 0.0,
+        "static step must be allocation-free"
     );
     assert_eq!(
         engine_allocs, 0.0,

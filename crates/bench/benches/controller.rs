@@ -72,6 +72,21 @@ fn bench_lqg_step(c: &mut Criterion) {
             black_box(out[0])
         })
     });
+    // The stack-allocated controller (the path the fleet actually steps
+    // after `fast_governor`): bit-identical arithmetic, monomorphized over
+    // the 2-input architecture's fixed shape.
+    let mut fixed = setup::design_mimo(InputSet::FreqCache, 1)
+        .expect("design")
+        .controller
+        .into_static::<2, 2, 4, 8>()
+        .expect("two-input architecture is 2-in/2-out/4-state");
+    fixed.set_reference(&Vector::from_slice(&[2.8, 1.9]));
+    c.bench_function("control/lqg_step_into_static", |b| {
+        b.iter(|| {
+            fixed.step_into(black_box(&y), &mut out);
+            black_box(out[0])
+        })
+    });
     // Retargeting with an unchanged reference (the fleet arbiter's common
     // case) must cost a compare, not a steady-state resolve.
     let targets = Vector::from_slice(&[2.8, 1.9]);
@@ -195,6 +210,7 @@ fn bench_figures(c: &mut Criterion) {
 fn bench_fleet(c: &mut Criterion) {
     let design = setup::design_mimo(InputSet::FreqCache, 9).expect("design");
     for workers in [1usize, 2] {
+        // Default path: `fast_governor` picks static storage for this shape.
         c.bench_function(&format!("fleet/16_cores_50_epochs_w{workers}"), |b| {
             b.iter(|| {
                 let cfg = mimo_fleet::FleetConfig::new(16)
@@ -208,6 +224,20 @@ fn bench_fleet(c: &mut Criterion) {
             })
         });
     }
+    // The dynamic path pinned, for measuring the static-storage gap (the
+    // science is bit-identical, only the step cost differs).
+    c.bench_function("fleet/16_cores_50_epochs_w1_dynamic", |b| {
+        b.iter(|| {
+            let cfg = mimo_fleet::FleetConfig::new(16)
+                .workers(1)
+                .epochs(50)
+                .seed(11);
+            let runner =
+                mimo_fleet::FleetRunner::with_shared_controller_dynamic(cfg, &design.controller)
+                    .unwrap();
+            black_box(runner.run().unwrap().digest())
+        })
+    });
     c.bench_function("fleet/arbitrate_64_cores", |b| {
         let mut arb = mimo_fleet::BudgetArbiter::new(
             76.8,

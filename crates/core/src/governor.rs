@@ -9,6 +9,7 @@ use mimo_linalg::Vector;
 
 use crate::error::ControlError;
 use crate::lqg::LqgController;
+use crate::storage::{DynStore, LqgStorage};
 
 /// Rejects measurements containing NaN or infinite entries. Stateful
 /// governors call this before consuming `y`, because folding a non-finite
@@ -169,24 +170,71 @@ impl Governor for FixedGovernor {
 }
 
 /// The MIMO architecture: wraps the LQG tracking controller.
+///
+/// Generic over the controller's runtime storage: the default dynamic
+/// governor is what `design_mimo`-style synthesis hands out, while
+/// [`fast_governor`] re-homes a controller into stack storage when its
+/// shape matches one of the deployed architectures.
 #[derive(Debug, Clone)]
-pub struct MimoGovernor {
-    ctrl: LqgController,
+pub struct MimoGovernor<S: LqgStorage = DynStore> {
+    ctrl: LqgController<S>,
 }
 
-impl MimoGovernor {
+impl<S: LqgStorage> MimoGovernor<S> {
     /// Wraps a synthesized controller.
-    pub fn new(ctrl: LqgController) -> Self {
+    pub fn new(ctrl: LqgController<S>) -> Self {
         MimoGovernor { ctrl }
     }
 
     /// Borrows the underlying controller (e.g. for robustness analysis).
-    pub fn controller(&self) -> &LqgController {
+    pub fn controller(&self) -> &LqgController<S> {
         &self.ctrl
     }
 }
 
-impl Governor for MimoGovernor {
+/// Wraps a dynamic controller in the fastest governor available for its
+/// shape: when the dimensions match one of the reference architectures the
+/// controller is re-homed into stack storage
+/// ([`StaticStore`](crate::storage::StaticStore)) and the
+/// returned governor steps monomorphized fixed-size kernels; any other
+/// shape (e.g. Figure 7's state-order sweep) keeps the dynamic path.
+///
+/// The static path is bit-identical to the dynamic one, so callers can
+/// adopt this unconditionally — golden digests do not move.
+pub fn fast_governor(ctrl: LqgController) -> Box<dyn Governor + Send> {
+    let shape = (
+        ctrl.num_inputs(),
+        ctrl.num_outputs(),
+        ctrl.model().state_dim(),
+    );
+    // NZ = NX + NU + NY, spelled out because stable Rust cannot compute it.
+    match shape {
+        // Two-input architectures (cache+frequency, §VI): 2-in/2-out,
+        // na=1, L=1 ⇒ 4 states.
+        (2, 2, 4) => match ctrl.into_static::<2, 2, 4, 8>() {
+            Ok(c) => Box::new(MimoGovernor::new(c)),
+            Err(_) => unreachable!("shape checked above"),
+        },
+        // Three-input architecture (§VI-C): 3-in/2-out, 5 states.
+        (3, 2, 5) => match ctrl.into_static::<3, 2, 5, 10>() {
+            Ok(c) => Box::new(MimoGovernor::new(c)),
+            Err(_) => unreachable!("shape checked above"),
+        },
+        // Decoupled SISO loops: 1-in/1-out, 2 states.
+        (1, 1, 2) => match ctrl.into_static::<1, 1, 2, 4>() {
+            Ok(c) => Box::new(MimoGovernor::new(c)),
+            Err(_) => unreachable!("shape checked above"),
+        },
+        // The 2-state unit-test plant used across the test suite.
+        (2, 2, 2) => match ctrl.into_static::<2, 2, 2, 6>() {
+            Ok(c) => Box::new(MimoGovernor::new(c)),
+            Err(_) => unreachable!("shape checked above"),
+        },
+        _ => Box::new(MimoGovernor::new(ctrl)),
+    }
+}
+
+impl<S: LqgStorage> Governor for MimoGovernor<S> {
     fn name(&self) -> &str {
         "MIMO"
     }

@@ -8,10 +8,12 @@
 //! equation over the identified unpredictability matrices `W` (process)
 //! and `V` (measurement).
 
-use mimo_linalg::{eigen, Matrix, Vector};
+use mimo_linalg::storage::{add_assign_slices, sub_into_slices};
+use mimo_linalg::{eigen, MatVecKernel, Matrix, VecKernel, Vector};
 
 use crate::dare::solve_dare;
 use crate::ss::StateSpace;
+use crate::storage::{DynStore, LqgStorage};
 use crate::{ControlError, Result};
 
 /// A steady-state Kalman filter for a [`StateSpace`] plant.
@@ -138,47 +140,84 @@ impl KalmanFilter {
         y: &Vector,
         s: &mut KalmanScratch,
     ) {
-        // y_pred = C x̂ + D u.
-        sys.c().mul_vec_into(xhat, &mut s.y_pred).expect("x dim");
-        sys.d().mul_vec_into(u, &mut s.d_u).expect("u dim");
-        s.y_pred += &s.d_u;
-        // innov = y − y_pred.
-        y.sub_into(&s.y_pred, &mut s.innov);
-        // correction = L innov.
-        self.l
-            .mul_vec_into(&s.innov, &mut s.correction)
-            .expect("innovation dim");
-        // x̂ ← (A x̂ + B u) + correction.
-        sys.a().mul_vec_into(xhat, &mut s.a_x).expect("x dim");
-        sys.b().mul_vec_into(u, &mut s.b_u).expect("u dim");
-        s.a_x += &s.b_u;
-        s.a_x += &s.correction;
-        xhat.copy_from(&s.a_x);
+        update_kalman::<DynStore>(&self.l, sys.a(), sys.b(), sys.c(), sys.d(), xhat, u, y, s);
     }
 }
 
-/// Reusable temporaries for [`KalmanFilter::update_into`], sized for one
-/// plant so a steady-state estimator update performs no heap allocations.
-#[derive(Debug, Clone)]
-pub struct KalmanScratch {
-    y_pred: Vector,
-    d_u: Vector,
-    innov: Vector,
-    a_x: Vector,
-    b_u: Vector,
-    correction: Vector,
+/// One predictor update over storage `S` — the monomorphizing core that
+/// both [`KalmanFilter::update_into`] (with `S = `[`DynStore`]) and the
+/// fixed-size controllers (with `S = `[`StaticStore`](crate::storage::StaticStore))
+/// call. Overwrites `xhat` with `x̂(t+1) = A x̂ + B u + L (y − C x̂ − D u)`.
+///
+/// Bit-identity: every storage runs the same matrix-vector products and
+/// elementwise sums in the same order, so the result does not depend on
+/// `S`.
+///
+/// # Panics
+///
+/// The dynamic storage panics on dimension mismatches (programming
+/// errors); fixed-size storages make them unrepresentable.
+#[allow(clippy::too_many_arguments)]
+pub fn update_kalman<S: LqgStorage>(
+    l: &S::GainL,
+    a: &S::MatA,
+    b: &S::MatB,
+    c: &S::MatC,
+    d: &S::MatD,
+    xhat: &mut S::VecX,
+    u: &S::VecU,
+    y: &S::VecY,
+    s: &mut KalmanScratch<S>,
+) {
+    // y_pred = C x̂ + D u.
+    c.mat_vec_into(xhat, &mut s.y_pred);
+    d.mat_vec_into(u, &mut s.d_u);
+    add_assign_slices(s.y_pred.as_mut_slice(), s.d_u.as_slice());
+    // innov = y − y_pred.
+    sub_into_slices(y.as_slice(), s.y_pred.as_slice(), s.innov.as_mut_slice());
+    // correction = L innov.
+    l.mat_vec_into(&s.innov, &mut s.correction);
+    // x̂ ← (A x̂ + B u) + correction.
+    a.mat_vec_into(xhat, &mut s.a_x);
+    b.mat_vec_into(u, &mut s.b_u);
+    add_assign_slices(s.a_x.as_mut_slice(), s.b_u.as_slice());
+    add_assign_slices(s.a_x.as_mut_slice(), s.correction.as_slice());
+    xhat.as_mut_slice().copy_from_slice(s.a_x.as_slice());
 }
 
-impl KalmanScratch {
+/// Reusable temporaries for [`KalmanFilter::update_into`] /
+/// [`update_kalman`], sized for one plant so a steady-state estimator
+/// update performs no heap allocations. With the default [`DynStore`]
+/// storage the buffers live on the heap; with a fixed-size storage the
+/// whole scratch is plain stack data.
+#[derive(Debug, Clone)]
+pub struct KalmanScratch<S: LqgStorage = DynStore> {
+    y_pred: S::VecY,
+    d_u: S::VecY,
+    innov: S::VecY,
+    a_x: S::VecX,
+    b_u: S::VecX,
+    correction: S::VecX,
+}
+
+impl<S: LqgStorage> KalmanScratch<S> {
     /// Allocates scratch for a plant with `n` states and `o` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fixed-size storage's const dimensions disagree with
+    /// `n`/`o` (a programming error — callers size scratch from the same
+    /// model the storage was checked against).
     pub fn new(n: usize, o: usize) -> Self {
+        let vec_y = || S::VecY::new_dim(o).expect("scratch output dim matches storage");
+        let vec_x = || S::VecX::new_dim(n).expect("scratch state dim matches storage");
         KalmanScratch {
-            y_pred: Vector::zeros(o),
-            d_u: Vector::zeros(o),
-            innov: Vector::zeros(o),
-            a_x: Vector::zeros(n),
-            b_u: Vector::zeros(n),
-            correction: Vector::zeros(n),
+            y_pred: vec_y(),
+            d_u: vec_y(),
+            innov: vec_y(),
+            a_x: vec_x(),
+            b_u: vec_x(),
+            correction: vec_x(),
         }
     }
 }

@@ -49,6 +49,7 @@ pub mod lqr;
 pub mod optimizer;
 pub mod robust;
 pub mod ss;
+pub mod storage;
 pub mod telemetry;
 pub mod weights;
 
@@ -56,9 +57,10 @@ mod error;
 
 pub use engine::{EpochCause, EpochError, EpochLoop, StepOutcome};
 pub use error::ControlError;
-pub use governor::Governor;
+pub use governor::{fast_governor, Governor};
 pub use lqg::LqgController;
 pub use ss::StateSpace;
+pub use storage::{DynStore, LqgStorage, StaticStore};
 pub use telemetry::{NullObserver, Observer, TelemetryConfig, TelemetrySink};
 
 /// Convenient result alias for controller design operations.

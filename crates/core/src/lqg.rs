@@ -27,12 +27,13 @@
 //! discrete actuator grid and the quantized value is fed back into the
 //! controller state (anti-windup against quantization).
 
-use mimo_linalg::{Matrix, Vector};
+use mimo_linalg::{MatVecKernel, Matrix, VecKernel, Vector};
 use mimo_sysid::scale::ChannelScaler;
 
-use crate::kalman::{KalmanFilter, KalmanScratch};
+use crate::kalman::{update_kalman, KalmanFilter, KalmanScratch};
 use crate::lqr::{design_lqr, LqrGain};
 use crate::ss::StateSpace;
+use crate::storage::{DynStore, LqgStorage, StaticStore};
 use crate::{ControlError, Result};
 
 /// Bound on normalized inputs (slightly beyond the identification range so
@@ -88,6 +89,22 @@ impl LqgDesign {
     /// * [`ControlError::RiccatiDiverged`] / [`ControlError::BadWeights`] —
     ///   synthesis failures from the LQR/Kalman stages.
     pub fn build(self) -> Result<LqgController> {
+        self.build_with::<DynStore>()
+    }
+
+    /// Synthesizes the controller with an explicit runtime storage.
+    ///
+    /// Synthesis itself (LQR, Kalman, steady-state resolve) always runs on
+    /// dynamic matrices; `S` only selects how the runtime copies of the
+    /// gains and state are held. `build_with::<DynStore>()` is exactly
+    /// [`LqgDesign::build`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`LqgDesign::build`] returns, plus
+    /// [`ControlError::DimensionMismatch`] when `S` is a
+    /// [`StaticStore`] whose const dimensions disagree with the model.
+    pub fn build_with<S: LqgStorage>(self) -> Result<LqgController<S>> {
         let n = self.model.state_dim();
         let i = self.model.num_inputs();
         let o = self.model.num_outputs();
@@ -118,6 +135,7 @@ impl LqgDesign {
                 what: format!("integral weight {} must be positive", self.integral_weight),
             });
         }
+        S::check_dims(i, o, n)?;
 
         // --- Augmented system -------------------------------------------
         let a = self.model.a();
@@ -167,16 +185,11 @@ impl LqgDesign {
         let kalman =
             KalmanFilter::design(&self.model, &self.process_noise, &self.measurement_noise)?;
 
+        let rt = LqgRt::<S>::from_synthesis(&lqr.k, kalman.gain(), &self.model)?;
         let mut ctrl = LqgController {
-            f: lqr.k,
             closed_loop_radius: lqr.closed_loop_radius,
             kalman,
-            xhat: Vector::zeros(n),
-            u_prev: Vector::zeros(i),
-            q_int: Vector::zeros(o),
-            y_ref_norm: Vector::zeros(o),
-            x_ss: Vector::zeros(n),
-            u_ss: Vector::zeros(i),
+            rt,
             scratch: LqgScratch::new(n, i, o),
             design: self,
         };
@@ -184,6 +197,22 @@ impl LqgDesign {
         // midpoint); callers set the real target afterwards.
         ctrl.recompute_steady_state();
         Ok(ctrl)
+    }
+
+    /// Synthesizes a controller whose runtime buffers are stack-allocated
+    /// with the given const dimensions (`NZ` must equal `NX + NU + NY`).
+    ///
+    /// This is the synthesis→runtime conversion shim: identical to
+    /// [`LqgDesign::build`] followed by
+    /// [`LqgController::into_static`], in one step.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`LqgDesign::build_with`] returns.
+    pub fn into_static<const NU: usize, const NY: usize, const NX: usize, const NZ: usize>(
+        self,
+    ) -> Result<LqgController<StaticStore<NU, NY, NX, NZ>>> {
+        self.build_with::<StaticStore<NU, NY, NX, NZ>>()
     }
 }
 
@@ -193,58 +222,127 @@ impl LqgDesign {
 /// [`LqgController::step`] once per epoch with the measured outputs; the
 /// returned vector is the physical, grid-quantized actuation to apply next.
 #[derive(Debug, Clone)]
-pub struct LqgController {
+pub struct LqgController<S: LqgStorage = DynStore> {
     design: LqgDesign,
-    /// LQR gain over the augmented state.
-    f: Matrix,
     closed_loop_radius: f64,
     kalman: KalmanFilter,
-    // Runtime state (normalized coordinates).
-    xhat: Vector,
-    u_prev: Vector,
-    q_int: Vector,
-    y_ref_norm: Vector,
-    x_ss: Vector,
-    u_ss: Vector,
+    /// Runtime copies of the gains, model matrices, and state, held in
+    /// `S`'s storage.
+    rt: LqgRt<S>,
     /// Reusable temporaries so a steady-state epoch allocates nothing.
-    scratch: LqgScratch,
+    scratch: LqgScratch<S>,
+}
+
+/// The runtime half of the controller: everything the per-epoch hot path
+/// touches, held in the selected storage. Gains and model matrices are
+/// bit-exact copies of the synthesis artifacts; the vectors are the
+/// controller's evolving state (normalized coordinates).
+#[derive(Debug, Clone)]
+struct LqgRt<S: LqgStorage> {
+    /// LQR gain `F` over the augmented state.
+    f: S::GainF,
+    /// Kalman predictor gain `L`.
+    l: S::GainL,
+    /// Model matrices (copies of the identified plant's).
+    a: S::MatA,
+    b: S::MatB,
+    c: S::MatC,
+    d: S::MatD,
+    /// State estimate.
+    xhat: S::VecX,
+    /// Previous (quantized, normalized) input.
+    u_prev: S::VecU,
+    /// Leaky error integrator.
+    q_int: S::VecY,
+    /// Normalized reference.
+    y_ref_norm: S::VecY,
+    /// Steady-state operating point for the current reference.
+    x_ss: S::VecX,
+    u_ss: S::VecU,
+}
+
+impl<S: LqgStorage> LqgRt<S> {
+    /// Builds the runtime bundle from freshly synthesized dynamic
+    /// artifacts, with zeroed state.
+    fn from_synthesis(f: &Matrix, l: &Matrix, model: &StateSpace) -> Result<Self> {
+        let n = model.state_dim();
+        let i = model.num_inputs();
+        let o = model.num_outputs();
+        let lin = ControlError::Linalg;
+        Ok(LqgRt {
+            f: S::GainF::from_matrix(f).map_err(lin)?,
+            l: S::GainL::from_matrix(l).map_err(lin)?,
+            a: S::MatA::from_matrix(model.a()).map_err(lin)?,
+            b: S::MatB::from_matrix(model.b()).map_err(lin)?,
+            c: S::MatC::from_matrix(model.c()).map_err(lin)?,
+            d: S::MatD::from_matrix(model.d()).map_err(lin)?,
+            xhat: S::VecX::new_dim(n).map_err(lin)?,
+            u_prev: S::VecU::new_dim(i).map_err(lin)?,
+            q_int: S::VecY::new_dim(o).map_err(lin)?,
+            y_ref_norm: S::VecY::new_dim(o).map_err(lin)?,
+            x_ss: S::VecX::new_dim(n).map_err(lin)?,
+            u_ss: S::VecU::new_dim(i).map_err(lin)?,
+        })
+    }
+
+    /// Re-homes the bundle into another storage. Every element round-trips
+    /// through the dynamic types bit-exactly, so the converted controller
+    /// continues from the identical state.
+    fn convert<T: LqgStorage>(&self) -> Result<LqgRt<T>> {
+        let lin = ControlError::Linalg;
+        Ok(LqgRt {
+            f: T::GainF::from_matrix(&self.f.to_matrix()).map_err(lin)?,
+            l: T::GainL::from_matrix(&self.l.to_matrix()).map_err(lin)?,
+            a: T::MatA::from_matrix(&self.a.to_matrix()).map_err(lin)?,
+            b: T::MatB::from_matrix(&self.b.to_matrix()).map_err(lin)?,
+            c: T::MatC::from_matrix(&self.c.to_matrix()).map_err(lin)?,
+            d: T::MatD::from_matrix(&self.d.to_matrix()).map_err(lin)?,
+            xhat: T::VecX::from_vector(&self.xhat.to_vector()).map_err(lin)?,
+            u_prev: T::VecU::from_vector(&self.u_prev.to_vector()).map_err(lin)?,
+            q_int: T::VecY::from_vector(&self.q_int.to_vector()).map_err(lin)?,
+            y_ref_norm: T::VecY::from_vector(&self.y_ref_norm.to_vector()).map_err(lin)?,
+            x_ss: T::VecX::from_vector(&self.x_ss.to_vector()).map_err(lin)?,
+            u_ss: T::VecU::from_vector(&self.u_ss.to_vector()).map_err(lin)?,
+        })
+    }
 }
 
 /// Reusable temporaries for [`LqgController::step_into`], sized once at
 /// synthesis so the 50 µs epoch step performs zero heap allocations.
 #[derive(Debug, Clone)]
-struct LqgScratch {
+struct LqgScratch<S: LqgStorage> {
     /// Normalized measurement.
-    y_norm: Vector,
+    y_norm: S::VecY,
     /// Augmented state `[x̃; ũ₋₁; q]`.
-    z: Vector,
+    z: S::VecZ,
     /// `Δu = −F z`.
-    du: Vector,
+    du: S::VecU,
     /// Clamped normalized candidate input.
-    u_raw: Vector,
+    u_raw: S::VecU,
     /// Physical candidate input before quantization.
-    u_phys_raw: Vector,
+    u_phys_raw: S::VecU,
     /// Physical previous input (for slew limiting).
-    u_prev_phys: Vector,
+    u_prev_phys: S::VecU,
     /// Estimator temporaries.
-    kalman: KalmanScratch,
+    kalman: KalmanScratch<S>,
 }
 
-impl LqgScratch {
+impl<S: LqgStorage> LqgScratch<S> {
     fn new(n: usize, i: usize, o: usize) -> Self {
+        let vu = || S::VecU::new_dim(i).expect("scratch input dim matches storage");
         LqgScratch {
-            y_norm: Vector::zeros(o),
-            z: Vector::zeros(n + i + o),
-            du: Vector::zeros(i),
-            u_raw: Vector::zeros(i),
-            u_phys_raw: Vector::zeros(i),
-            u_prev_phys: Vector::zeros(i),
+            y_norm: S::VecY::new_dim(o).expect("scratch output dim matches storage"),
+            z: S::VecZ::new_dim(n + i + o).expect("scratch augmented dim matches storage"),
+            du: vu(),
+            u_raw: vu(),
+            u_phys_raw: vu(),
+            u_prev_phys: vu(),
             kalman: KalmanScratch::new(n, o),
         }
     }
 }
 
-impl LqgController {
+impl<S: LqgStorage> LqgController<S> {
     /// Number of actuated inputs.
     pub fn num_inputs(&self) -> usize {
         self.design.model.num_inputs()
@@ -260,9 +358,10 @@ impl LqgController {
         &self.design.model
     }
 
-    /// The LQR gain `F` over `[x̃; ũ₋₁; q]`.
-    pub fn feedback_gain(&self) -> &Matrix {
-        &self.f
+    /// The LQR gain `F` over `[x̃; ũ₋₁; q]`, in the runtime storage
+    /// (`&Matrix` on the default dynamic path).
+    pub fn feedback_gain(&self) -> &S::GainF {
+        &self.rt.f
     }
 
     /// The Kalman filter used for state estimation.
@@ -283,7 +382,51 @@ impl LqgController {
 
     /// Current physical reference targets.
     pub fn reference(&self) -> Vector {
-        self.design.output_scaler.denormalize(&self.y_ref_norm)
+        self.design
+            .output_scaler
+            .denormalize(&self.rt.y_ref_norm.to_vector())
+    }
+
+    /// Re-homes the controller into another runtime storage, carrying the
+    /// full runtime state (estimate, integrator, previous input,
+    /// reference) bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::DimensionMismatch`] when `T` is a [`StaticStore`]
+    /// whose const dimensions disagree with the controller's.
+    pub fn with_storage<T: LqgStorage>(&self) -> Result<LqgController<T>> {
+        let n = self.design.model.state_dim();
+        let i = self.num_inputs();
+        let o = self.num_outputs();
+        T::check_dims(i, o, n)?;
+        Ok(LqgController {
+            design: self.design.clone(),
+            closed_loop_radius: self.closed_loop_radius,
+            kalman: self.kalman.clone(),
+            rt: self.rt.convert()?,
+            scratch: LqgScratch::new(n, i, o),
+        })
+    }
+
+    /// Converts to a stack-allocated controller with the given const
+    /// dimensions (`NZ` must equal `NX + NU + NY`). The static controller
+    /// steps bit-identically to this one.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::DimensionMismatch`] when the const dimensions
+    /// disagree with the controller's.
+    pub fn into_static<const NU: usize, const NY: usize, const NX: usize, const NZ: usize>(
+        self,
+    ) -> Result<LqgController<StaticStore<NU, NY, NX, NZ>>> {
+        self.with_storage()
+    }
+
+    /// Converts back to the dynamic heap-backed storage.
+    pub fn to_dynamic(&self) -> LqgController {
+        self.with_storage::<DynStore>()
+            .expect("dynamic storage accepts any dimensions")
     }
 
     /// Sets the physical output targets (e.g. `[2.5 BIPS, 2.0 W]`).
@@ -307,10 +450,11 @@ impl LqgController {
         let offsets = self.design.output_scaler.offsets();
         let spans = self.design.output_scaler.spans();
         let mut changed = false;
+        let y_ref = self.rt.y_ref_norm.as_mut_slice();
         for c in 0..y0_physical.len() {
             let v = (y0_physical[c] - offsets[c]) / spans[c];
-            if v.to_bits() != self.y_ref_norm[c].to_bits() {
-                self.y_ref_norm[c] = v;
+            if v.to_bits() != y_ref[c].to_bits() {
+                y_ref[c] = v;
                 changed = true;
             }
         }
@@ -327,8 +471,12 @@ impl LqgController {
         // produces enormous opposite-signed feed-forward inputs that pin
         // the actuators at their clamps. The ridge biases u_ss toward the
         // operating midpoint; the integrator removes the residual offset.
+        // Runs only on reference changes, so the dynamic solve (and the
+        // `to_vector` copies at the storage boundary) never touch the
+        // per-epoch hot path.
         let i = self.num_inputs();
         let n = self.design.model.state_dim();
+        let y_ref = self.rt.y_ref_norm.to_vector();
         let u_ss = self
             .design
             .model
@@ -340,17 +488,19 @@ impl LqgController {
                 let gram = &gtq * &g;
                 let lambda = 0.05 * (gram.trace() / i as f64).max(1e-12);
                 let lhs = &gram + &Matrix::identity(i).scale(lambda);
-                let rhs = &gtq * &self.y_ref_norm.to_col_matrix();
+                let rhs = &gtq * &y_ref.to_col_matrix();
                 lhs.solve(&rhs).ok().map(Vector::from)
             })
             .unwrap_or_else(|| Vector::zeros(i));
-        self.u_ss = u_ss.map(|v| v.clamp(-U_CLAMP, U_CLAMP));
+        let u_ss = u_ss.map(|v| v.clamp(-U_CLAMP, U_CLAMP));
+        self.rt.u_ss.as_mut_slice().copy_from_slice(u_ss.as_slice());
         // Propagate to the implied state.
         let i_minus_a = Matrix::identity(n) - self.design.model.a();
-        self.x_ss = i_minus_a
-            .solve(&(self.design.model.b() * &self.u_ss.to_col_matrix()))
+        let x_ss = i_minus_a
+            .solve(&(self.design.model.b() * &u_ss.to_col_matrix()))
             .map(Vector::from)
             .unwrap_or_else(|_| Vector::zeros(n));
+        self.rt.x_ss.as_mut_slice().copy_from_slice(x_ss.as_slice());
     }
 
     /// One control epoch: consumes the physical measurement `y(t)` and
@@ -385,36 +535,54 @@ impl LqgController {
         let i = self.design.model.num_inputs();
         let o = self.design.model.num_outputs();
         let s = &mut self.scratch;
+        let rt = &mut self.rt;
         self.design
             .output_scaler
-            .normalize_into(y_physical, &mut s.y_norm);
+            .normalize_slices(y_physical.as_slice(), s.y_norm.as_mut_slice());
 
         // Estimator update with the input actually applied last epoch.
-        self.kalman.update_into(
-            &self.design.model,
-            &mut self.xhat,
-            &self.u_prev,
+        update_kalman::<S>(
+            &rt.l,
+            &rt.a,
+            &rt.b,
+            &rt.c,
+            &rt.d,
+            &mut rt.xhat,
+            &rt.u_prev,
             &s.y_norm,
             &mut s.kalman,
         );
 
         // Integrate the tracking error (leaky, with anti-windup clamp).
-        for c in 0..o {
-            let err = s.y_norm[c] - self.y_ref_norm[c];
-            self.q_int[c] = (self.q_int[c] * INTEGRATOR_LEAK + err).clamp(-Q_CLAMP, Q_CLAMP);
+        {
+            let q = rt.q_int.as_mut_slice();
+            let y = s.y_norm.as_slice();
+            let y_ref = rt.y_ref_norm.as_slice();
+            for c in 0..o {
+                let err = y[c] - y_ref[c];
+                q[c] = (q[c] * INTEGRATOR_LEAK + err).clamp(-Q_CLAMP, Q_CLAMP);
+            }
         }
 
         // Δu = −F [x̃; ũ₋₁; q].
-        for k in 0..n {
-            s.z[k] = self.xhat[k] - self.x_ss[k];
+        {
+            let z = s.z.as_mut_slice();
+            let xhat = rt.xhat.as_slice();
+            let x_ss = rt.x_ss.as_slice();
+            let u_prev = rt.u_prev.as_slice();
+            let u_ss = rt.u_ss.as_slice();
+            let q = rt.q_int.as_slice();
+            for k in 0..n {
+                z[k] = xhat[k] - x_ss[k];
+            }
+            for k in 0..i {
+                z[n + k] = u_prev[k] - u_ss[k];
+            }
+            for k in 0..o {
+                z[n + i + k] = q[k];
+            }
         }
-        for k in 0..i {
-            s.z[n + k] = self.u_prev[k] - self.u_ss[k];
-        }
-        for k in 0..o {
-            s.z[n + i + k] = self.q_int[k];
-        }
-        self.f.mul_vec_into(&s.z, &mut s.du).expect("gain dim");
+        rt.f.mat_vec_into(&s.z, &mut s.du);
         for v in s.du.as_mut_slice() {
             *v *= -1.0;
         }
@@ -424,19 +592,26 @@ impl LqgController {
         // relocks per step, and single-step motion stops the controller
         // from reacting to its own transition stalls (§IV-B2's "smaller
         // steps ... more effective control").
-        for k in 0..i {
-            s.u_raw[k] = (self.u_prev[k] + s.du[k]).clamp(-U_CLAMP, U_CLAMP);
+        {
+            let u_raw = s.u_raw.as_mut_slice();
+            let du = s.du.as_slice();
+            let u_prev = rt.u_prev.as_slice();
+            for k in 0..i {
+                u_raw[k] = (u_prev[k] + du[k]).clamp(-U_CLAMP, U_CLAMP);
+            }
         }
         self.design
             .input_scaler
-            .denormalize_into(&s.u_raw, &mut s.u_phys_raw);
+            .denormalize_slices(s.u_raw.as_slice(), s.u_phys_raw.as_mut_slice());
         self.design
             .input_scaler
-            .denormalize_into(&self.u_prev, &mut s.u_prev_phys);
+            .denormalize_slices(rt.u_prev.as_slice(), s.u_prev_phys.as_mut_slice());
+        let u_phys_raw = s.u_phys_raw.as_slice();
+        let u_prev_phys = s.u_prev_phys.as_slice();
         for ch in 0..i {
             let grid = &self.design.input_grids[ch];
-            let target = quantize_index(grid, s.u_phys_raw[ch]);
-            let current = quantize_index(grid, s.u_prev_phys[ch]);
+            let target = quantize_index(grid, u_phys_raw[ch]);
+            let current = quantize_index(grid, u_prev_phys[ch]);
             let stepped = if target > current {
                 current + 1
             } else if target < current {
@@ -449,21 +624,23 @@ impl LqgController {
         // Feed the *quantized* input back (anti-windup against rounding).
         self.design
             .input_scaler
-            .normalize_into(out, &mut self.u_prev);
+            .normalize_slices(out.as_slice(), rt.u_prev.as_mut_slice());
     }
 
     /// Resets the runtime state (estimate, integrator, previous input)
     /// without touching the design or the reference.
     pub fn reset_state(&mut self) {
-        self.xhat = Vector::zeros(self.design.model.state_dim());
-        self.u_prev = Vector::zeros(self.num_inputs());
-        self.q_int = Vector::zeros(self.num_outputs());
+        self.rt.xhat.as_mut_slice().fill(0.0);
+        self.rt.u_prev.as_mut_slice().fill(0.0);
+        self.rt.q_int.as_mut_slice().fill(0.0);
     }
 
     /// Seeds the previous-input memory from a physical actuation (e.g. the
     /// configuration the plant is currently running).
     pub fn seed_input(&mut self, u_physical: &Vector) {
-        self.u_prev = self.design.input_scaler.normalize(u_physical);
+        self.design
+            .input_scaler
+            .normalize_slices(u_physical.as_slice(), self.rt.u_prev.as_mut_slice());
     }
 }
 
@@ -732,9 +909,82 @@ mod tests {
         ctrl.set_reference(&Vector::from_slice(&[1.0, 1.0]));
         let _ = ctrl.step(&Vector::from_slice(&[0.5, 0.2]));
         ctrl.reset_state();
-        assert_eq!(ctrl.u_prev.norm_inf(), 0.0);
+        assert_eq!(ctrl.rt.u_prev.norm_inf(), 0.0);
         ctrl.seed_input(&Vector::from_slice(&[0.5, -0.5]));
-        assert!(ctrl.u_prev.norm_inf() > 0.0);
+        assert!(ctrl.rt.u_prev.norm_inf() > 0.0);
+    }
+
+    #[test]
+    fn static_build_matches_dynamic_bit_for_bit() {
+        // The 2-state/2-in/2-out test plant monomorphizes to
+        // StaticStore<2, 2, 2, 6>. Drive both controllers through the same
+        // measurement sequence and demand identical bits at every epoch.
+        let design = test_design(test_plant(), &[10.0, 1000.0], &[0.01, 0.01]);
+        let mut dynamic = design.clone().build().unwrap();
+        let mut fixed = design.into_static::<2, 2, 2, 6>().unwrap();
+        let y0 = Vector::from_slice(&[2.0, 1.0]);
+        dynamic.set_reference(&y0);
+        fixed.set_reference(&y0);
+        let mut u_d = Vector::zeros(2);
+        let mut u_s = Vector::zeros(2);
+        for t in 0..300 {
+            let y = Vector::from_slice(&[(t as f64 * 0.37).sin() * 3.0, (t as f64 * 0.19).cos()]);
+            dynamic.step_into(&y, &mut u_d);
+            fixed.step_into(&y, &mut u_s);
+            for k in 0..2 {
+                assert_eq!(
+                    u_d[k].to_bits(),
+                    u_s[k].to_bits(),
+                    "divergence at epoch {t} channel {k}: {} vs {}",
+                    u_d[k],
+                    u_s[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mid_run_conversion_carries_state_bit_exactly() {
+        let design = test_design(test_plant(), &[10.0, 10.0], &[0.05, 0.05]);
+        let mut dynamic = design.build().unwrap();
+        dynamic.set_reference(&Vector::from_slice(&[1.5, -1.0]));
+        let mut u_d = Vector::zeros(2);
+        let mut u_s = Vector::zeros(2);
+        for t in 0..50 {
+            let y = Vector::from_slice(&[(t as f64 * 0.11).sin(), (t as f64 * 0.07).cos()]);
+            dynamic.step_into(&y, &mut u_d);
+        }
+        // Convert mid-run: the static controller must continue exactly
+        // where the dynamic one left off.
+        let mut fixed = dynamic.with_storage::<StaticStore<2, 2, 2, 6>>().unwrap();
+        for t in 50..150 {
+            let y = Vector::from_slice(&[(t as f64 * 0.11).sin(), (t as f64 * 0.07).cos()]);
+            dynamic.step_into(&y, &mut u_d);
+            fixed.step_into(&y, &mut u_s);
+            for k in 0..2 {
+                assert_eq!(u_d[k].to_bits(), u_s[k].to_bits(), "epoch {t} channel {k}");
+            }
+        }
+        // And back: round-tripping to dynamic also preserves state.
+        let mut back = fixed.to_dynamic();
+        let y = Vector::from_slice(&[0.4, -0.2]);
+        fixed.step_into(&y, &mut u_s);
+        back.step_into(&y, &mut u_d);
+        assert_eq!(u_d[0].to_bits(), u_s[0].to_bits());
+        assert_eq!(u_d[1].to_bits(), u_s[1].to_bits());
+    }
+
+    #[test]
+    fn static_conversion_rejects_wrong_dimensions() {
+        let ctrl = test_design(test_plant(), &[1.0, 1.0], &[1.0, 1.0])
+            .build()
+            .unwrap();
+        // Wrong NU.
+        assert!(ctrl.with_storage::<StaticStore<3, 2, 2, 7>>().is_err());
+        // Wrong NZ (must be NX + NU + NY = 6).
+        assert!(ctrl.with_storage::<StaticStore<2, 2, 2, 7>>().is_err());
+        // Right shape converts.
+        assert!(ctrl.with_storage::<StaticStore<2, 2, 2, 6>>().is_ok());
     }
 
     #[test]

@@ -40,6 +40,9 @@ SUBCOMMANDS:
     tab-opt      §VIII-F text: E and E×D² reductions
     fleet-scale  fleet sizes × worker counts under one chip budget
     fault-sweep  fault rate × arbitration policy on a 16-core fleet
+    bench        time the LQG step and a 16-core fleet sweep on the
+                 dynamic and static storage paths; writes
+                 BENCH_controller.json to the results directory
 
 FLAGS:
     --epochs N    epochs per tracking run (default: paper-scale 4000)
@@ -124,6 +127,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         "tab-opt",
         "fleet-scale",
         "fault-sweep",
+        "bench",
     ];
     if !known.contains(&cli.command.as_str()) {
         return Err(format!("unknown subcommand {:?}", cli.command));
@@ -221,6 +225,7 @@ fn run_one(cfg: &ExpConfig, name: &str, trace: Option<&str>) -> Result<(), Strin
         "tab-opt" => run_tab_opt(cfg),
         "fleet-scale" => run_fleet_scale(cfg),
         "fault-sweep" => run_fault_sweep(cfg, trace),
+        "bench" => run_bench(cfg),
         _ => unreachable!("parse_args validated the subcommand"),
     }
 }
@@ -325,6 +330,29 @@ fn run_fleet_scale(cfg: &ExpConfig) -> Result<(), String> {
         }
     }
     println!("done; {}", cfg.results.join("fleet_scale.csv").display());
+    Ok(())
+}
+
+fn run_bench(cfg: &ExpConfig) -> Result<(), String> {
+    let b = mimo_exp::bench::run()?;
+    println!(
+        "lqg step: {:.0} ns dynamic, {:.0} ns static ({:.2}x)",
+        b.lqg_step_dynamic_ns,
+        b.lqg_step_static_ns,
+        b.step_speedup()
+    );
+    println!(
+        "fleet 16c/50e: {:.2} ms dynamic, {:.2} ms static ({:.2}x)",
+        b.fleet_epoch_dynamic_ms,
+        b.fleet_epoch_static_ms,
+        b.fleet_speedup()
+    );
+    let doc = mimo_exp::bench::render_json(&b);
+    let path = cfg
+        .results
+        .write_text("BENCH_controller.json", &doc)
+        .map_err(|e| format!("write BENCH_controller.json: {e}"))?;
+    println!("wrote {}", path.display());
     Ok(())
 }
 

@@ -4,12 +4,6 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::OnceLock;
-
-/// Process-wide override of the results directory, kept only for the
-/// deprecated [`set_results_dir`] shim; new code threads a [`ResultsDir`]
-/// handle instead.
-static RESULTS_DIR_OVERRIDE: OnceLock<PathBuf> = OnceLock::new();
 
 /// An explicit handle to the directory experiment artifacts land in.
 ///
@@ -26,13 +20,9 @@ impl ResultsDir {
         ResultsDir(dir.into())
     }
 
-    /// The legacy discovery rule: the deprecated [`set_results_dir`]
-    /// override if one was installed, else the first existing `results`
-    /// directory walking up from the current directory, else `results`.
+    /// The discovery rule: the first existing `results` directory walking
+    /// up from the current directory, else `results`.
     pub fn discover() -> Self {
-        if let Some(dir) = RESULTS_DIR_OVERRIDE.get() {
-            return ResultsDir(dir.clone());
-        }
         let candidates = ["results", "../results", "../../results"];
         for c in candidates {
             let p = Path::new(c);
@@ -92,32 +82,6 @@ impl Default for ResultsDir {
     fn default() -> Self {
         ResultsDir::discover()
     }
-}
-
-/// Overrides the directory [`ResultsDir::discover`] resolves to for the
-/// rest of the process. The first call wins; returns whether this call
-/// installed the override.
-#[deprecated(
-    note = "construct a `ResultsDir` and thread it to writers (e.g. `ExpConfig::results`) instead"
-)]
-pub fn set_results_dir<P: Into<PathBuf>>(dir: P) -> bool {
-    RESULTS_DIR_OVERRIDE.set(dir.into()).is_ok()
-}
-
-/// Directory experiment CSVs land in under the legacy discovery rule.
-#[deprecated(note = "use `ResultsDir::discover().path()` or an explicit `ResultsDir`")]
-pub fn results_dir() -> PathBuf {
-    ResultsDir::discover().0
-}
-
-/// Writes a CSV file into the legacy-discovered results directory.
-///
-/// # Errors
-///
-/// Propagates filesystem errors.
-#[deprecated(note = "use `ResultsDir::write_csv` on an explicit handle")]
-pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
-    ResultsDir::discover().write_csv(name, header, rows)
 }
 
 /// Renders an ASCII table: `header` then one row per entry.
@@ -238,19 +202,6 @@ mod tests {
         assert_eq!(content, "name,v\na,1\n");
         std::fs::remove_file(path).unwrap();
         std::fs::remove_dir_all(dir.path()).unwrap();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_still_write() {
-        // The deprecated free functions must keep working for external
-        // callers until the next breaking release.
-        let rows = vec![vec!["b".to_string(), "2".to_string()]];
-        let path = write_csv("test_report_shim.csv", &["name", "v"], &rows).unwrap();
-        let content = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(content, "name,v\nb,2\n");
-        assert_eq!(path, results_dir().join("test_report_shim.csv"));
-        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

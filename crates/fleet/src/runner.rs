@@ -23,7 +23,7 @@ use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
 use mimo_core::engine::{fleet_warmup, EpochLoop, StepOutcome, TrackingErrorAccumulator};
-use mimo_core::governor::{Governor, MimoGovernor};
+use mimo_core::governor::{fast_governor, Governor, MimoGovernor};
 use mimo_core::heuristic::{HeuristicTracker, SensitivityRanking};
 use mimo_core::lqg::LqgController;
 use mimo_core::telemetry::TelemetrySink;
@@ -231,10 +231,27 @@ impl FleetRunner {
     /// MIMO controller — the paper's deployment model, where a single
     /// offline design is replicated across homogeneous cores.
     ///
+    /// Each per-core clone is wrapped by
+    /// [`mimo_core::governor::fast_governor`], so controllers whose shape
+    /// matches a reference architecture step on stack-allocated fixed-size
+    /// kernels. The static path is bit-identical to the dynamic one — the
+    /// fleet digests do not move.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`FleetRunner::new`].
     pub fn with_shared_controller(cfg: FleetConfig, ctrl: &LqgController) -> Result<Self> {
+        FleetRunner::new(cfg, |_, _| fast_governor(ctrl.clone()))
+    }
+
+    /// Like [`FleetRunner::with_shared_controller`], but pins every core to
+    /// the dynamic heap-backed storage. Exists for benchmarking the
+    /// static-vs-dynamic gap; science results are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FleetRunner::new`].
+    pub fn with_shared_controller_dynamic(cfg: FleetConfig, ctrl: &LqgController) -> Result<Self> {
         FleetRunner::new(cfg, |_, _| Box::new(MimoGovernor::new(ctrl.clone())))
     }
 

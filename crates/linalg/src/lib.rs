@@ -10,6 +10,9 @@
 //!
 //! * [`Matrix`] / [`Vector`] — dense row-major storage with the usual
 //!   arithmetic, block, and stacking operations.
+//! * [`SMatrix`] / [`SVector`] — stack-allocated const-generic
+//!   counterparts whose kernels are bit-identical to the dynamic ones, and
+//!   the [`storage`] traits that let runtime code be generic over both.
 //! * [`lu::LuDecomposition`] — partial-pivot LU: solve, inverse, determinant.
 //! * [`qr::QrDecomposition`] — Householder QR and least squares.
 //! * [`eigen`] — Hessenberg reduction + Francis double-shift QR giving the
@@ -42,11 +45,15 @@ pub mod complex;
 pub mod eigen;
 pub mod lu;
 pub mod qr;
+pub mod stack;
+pub mod storage;
 pub mod svd;
 
 pub use complex::CMatrix;
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use stack::{SMatrix, SVector};
+pub use storage::{MatVecKernel, VecKernel};
 pub use vector::Vector;
 
 /// Convenient result alias for fallible linear-algebra operations.

@@ -180,11 +180,7 @@ impl ChannelScaler {
     ///
     /// Panics if `raw.len()` or `out.len()` differs from the channel count.
     pub fn normalize_into(&self, raw: &Vector, out: &mut Vector) {
-        assert_eq!(raw.len(), self.channels(), "channel count mismatch");
-        assert_eq!(out.len(), self.channels(), "channel count mismatch");
-        for c in 0..raw.len() {
-            out[c] = (raw[c] - self.offset[c]) / self.span[c];
-        }
+        self.normalize_slices(raw.as_slice(), out.as_mut_slice());
     }
 
     /// Maps a normalized vector back to raw units, writing into `out`
@@ -194,6 +190,31 @@ impl ChannelScaler {
     ///
     /// Panics if `norm.len()` or `out.len()` differs from the channel count.
     pub fn denormalize_into(&self, norm: &Vector, out: &mut Vector) {
+        self.denormalize_slices(norm.as_slice(), out.as_mut_slice());
+    }
+
+    /// Slice form of [`ChannelScaler::normalize_into`], so callers whose
+    /// buffers are fixed-size stack vectors can normalize without going
+    /// through a heap-backed [`Vector`]. One implementation serves both
+    /// paths — bit-identity holds by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len()` or `out.len()` differs from the channel count.
+    pub fn normalize_slices(&self, raw: &[f64], out: &mut [f64]) {
+        assert_eq!(raw.len(), self.channels(), "channel count mismatch");
+        assert_eq!(out.len(), self.channels(), "channel count mismatch");
+        for c in 0..raw.len() {
+            out[c] = (raw[c] - self.offset[c]) / self.span[c];
+        }
+    }
+
+    /// Slice form of [`ChannelScaler::denormalize_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norm.len()` or `out.len()` differs from the channel count.
+    pub fn denormalize_slices(&self, norm: &[f64], out: &mut [f64]) {
         assert_eq!(norm.len(), self.channels(), "channel count mismatch");
         assert_eq!(out.len(), self.channels(), "channel count mismatch");
         for c in 0..norm.len() {
