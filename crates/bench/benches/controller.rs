@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 use mimo_core::dare::solve_dare;
 use mimo_core::design::DesignFlow;
-use mimo_core::governor::{Governor, MimoGovernor};
+use mimo_core::governor::{fast_governor, Governor, MimoGovernor};
 use mimo_core::optimizer::{Metric, Optimizer, MAX_TRIES};
 use mimo_exp::setup;
 use mimo_linalg::{eigen, Matrix, Vector};
@@ -255,6 +255,44 @@ fn bench_fleet(c: &mut Criterion) {
     });
 }
 
+/// Cluster-runtime cost: a 4-chip × 4-core hierarchy stepped through two
+/// exchange windows, barrier-free within each window, at one and several
+/// shards — plus a lone chip's serial epoch beat with LLC coupling on.
+fn bench_cluster(c: &mut Criterion) {
+    let design = setup::design_mimo(InputSet::FreqCache, 9).expect("design");
+    for shards in [1usize, 4] {
+        c.bench_function(&format!("cluster/4x4_50_epochs_s{shards}"), |b| {
+            b.iter(|| {
+                let cfg = mimo_fleet::ClusterConfig::new(4, 4)
+                    .epochs(50)
+                    .exchange_period(25)
+                    .shards(shards)
+                    .llc_contention(mimo_sim::LlcConfig::for_cores(4).total_ways(16))
+                    .seed(11);
+                let runner =
+                    mimo_fleet::ClusterRunner::with_shared_controller(cfg, &design.controller)
+                        .unwrap();
+                black_box(runner.run().unwrap().digest())
+            })
+        });
+    }
+    c.bench_function("cluster/chip_step_4_cores_llc", |b| {
+        b.iter(|| {
+            let cfg = mimo_fleet::FleetConfig::new(4)
+                .epochs(50)
+                .seed(11)
+                .llc_contention(mimo_sim::LlcConfig::for_cores(4).total_ways(16));
+            let mut factory =
+                |_: usize, _: &mimo_fleet::CoreSpec| fast_governor(design.controller.clone());
+            let mut chip = mimo_fleet::Chip::build(0, cfg, &mut factory).unwrap();
+            for _ in 0..50 {
+                chip.step_epoch();
+            }
+            black_box(chip.into_results().0.digest())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_linalg,
@@ -264,6 +302,7 @@ criterion_group!(
     bench_sim_epoch,
     bench_sysid_fit,
     bench_figures,
-    bench_fleet
+    bench_fleet,
+    bench_cluster
 );
 criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! FNV-1a digests over exact `f64` bit patterns.
+//!
+//! Every reproducibility check in the workspace — the golden pins in
+//! `tests/golden.rs`, `FleetStats::digest`, `ClusterStats::digest`, and the
+//! digest columns of the experiment CSVs — reduces runs to one `u64` with
+//! the same 64-bit FNV-1a mix. This module is the single definition of
+//! that mix; the constants and the xor-then-multiply order are part of the
+//! golden contract and must never change.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a mixer over 64-bit words.
+///
+/// Values are absorbed whole (not byte-wise): each call xors the word into
+/// the state and multiplies by [`FNV_PRIME`], exactly the mix the golden
+/// digests were recorded with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts a digest at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs one 64-bit word.
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorbs the exact bit pattern of one `f64`.
+    ///
+    /// No normalization is applied — `-0.0` and `0.0` digest differently,
+    /// as do distinct NaN payloads. That is deliberate: the digest asserts
+    /// bit-identical runs, not numerically-equal ones.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest of everything absorbed so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// Order-dependent digest of a slice of `f64` bit patterns — the exact
+/// reduction the golden tests pin.
+#[must_use]
+pub fn digest_f64(values: &[f64]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &v in values {
+        h.write_f64(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The historical hand-rolled loop this module replaced; the helper
+    /// must reproduce it word for word.
+    fn reference(values: &[f64]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for v in values {
+            h ^= v.to_bits();
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    #[test]
+    fn matches_the_historical_mix() {
+        let cases: [&[f64]; 4] = [
+            &[],
+            &[0.0],
+            &[1.5, -2.25, 3.0e17],
+            &[f64::MIN_POSITIVE, f64::MAX, -0.0, 7.125],
+        ];
+        for vals in cases {
+            assert_eq!(digest_f64(vals), reference(vals), "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn empty_digest_is_the_offset_basis() {
+        assert_eq!(digest_f64(&[]), FNV_OFFSET);
+        assert_eq!(Fnv1a::new().finish(), FNV_OFFSET);
+        assert_eq!(Fnv1a::default(), Fnv1a::new());
+    }
+
+    #[test]
+    fn order_and_sign_matter() {
+        assert_ne!(digest_f64(&[1.0, 2.0]), digest_f64(&[2.0, 1.0]));
+        assert_ne!(digest_f64(&[0.0]), digest_f64(&[-0.0]));
+    }
+
+    #[test]
+    fn mixed_word_and_float_writes() {
+        let mut h = Fnv1a::new();
+        h.write_u64(4);
+        h.write_f64(2.5);
+        let mut manual = 0xcbf29ce484222325u64;
+        for w in [4u64, 2.5f64.to_bits()] {
+            manual ^= w;
+            manual = manual.wrapping_mul(0x100000001b3);
+        }
+        assert_eq!(h.finish(), manual);
+    }
+}

@@ -40,6 +40,7 @@
 pub mod dare;
 pub mod decoupled;
 pub mod design;
+pub mod digest;
 pub mod engine;
 pub mod governor;
 pub mod heuristic;
@@ -55,6 +56,7 @@ pub mod weights;
 
 mod error;
 
+pub use digest::{digest_f64, Fnv1a};
 pub use engine::{EpochCause, EpochError, EpochLoop, StepOutcome};
 pub use error::ControlError;
 pub use governor::{fast_governor, Governor};

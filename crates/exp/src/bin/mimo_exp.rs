@@ -39,6 +39,8 @@ SUBCOMMANDS:
     fig12        Figure 12: time-varying (QoE/battery) tracking
     tab-opt      §VIII-F text: E and E×D² reductions
     fleet-scale  fleet sizes × worker counts under one chip budget
+    cluster-scale  chips × cores-per-chip under one datacenter budget,
+                 sharded chip-parallel with shared-LLC contention
     fault-sweep  fault rate × arbitration policy on a 16-core fleet
     bench        time the LQG step and a 16-core fleet sweep on the
                  dynamic and static storage paths; writes
@@ -51,7 +53,11 @@ FLAGS:
                   N >= 1 — results are bit-identical at any job count)
     --out DIR     directory CSVs land in (default: nearest results/)
     --timing      record per-subcommand and per-cell wall-clock into
-                  BENCH_harness.json in the results directory
+                  BENCH_harness.json in the results directory (for
+                  cluster-scale this includes per-chip stepping time)
+    --shards N    cluster-scale only: pin the shard count instead of
+                  sweeping {1, 2, 4, 8}; the CSV is byte-identical at any
+                  value (the CI determinism job diffs them)
     --trace PATH  fault-sweep only: write a JSONL epoch trace of the
                   sweep's most eventful run (per-core ring-buffer sinks)
     -h, --help    print this help
@@ -67,6 +73,7 @@ struct Cli {
     jobs: Option<usize>,
     out: Option<String>,
     timing: bool,
+    shards: Option<usize>,
     trace: Option<String>,
 }
 
@@ -77,6 +84,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         jobs: None,
         out: None,
         timing: false,
+        shards: None,
         trace: None,
     };
     let mut saw_command = false;
@@ -102,6 +110,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.out = Some(it.next().ok_or("--out needs a directory")?.clone());
             }
             "--timing" => cli.timing = true,
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--shards needs a positive integer, got {v:?}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                cli.shards = Some(n);
+            }
             "--trace" => {
                 cli.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
             }
@@ -126,6 +144,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         "fig12",
         "tab-opt",
         "fleet-scale",
+        "cluster-scale",
         "fault-sweep",
         "bench",
     ];
@@ -134,6 +153,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
     if cli.trace.is_some() && cli.command != "fault-sweep" {
         return Err("--trace is only meaningful with the fault-sweep subcommand".into());
+    }
+    if cli.shards.is_some() && cli.command != "cluster-scale" {
+        return Err("--shards is only meaningful with the cluster-scale subcommand".into());
     }
     Ok(cli)
 }
@@ -176,9 +198,7 @@ fn main() -> ExitCode {
     let failures = match cli.command.as_str() {
         "all" => run_all(&cfg),
         name => {
-            let r = cfg
-                .timing
-                .subcommand(name, || run_one(&cfg, name, cli.trace.as_deref()));
+            let r = cfg.timing.subcommand(name, || run_one(&cfg, name, &cli));
             collect_failure(name, r)
         }
     };
@@ -213,7 +233,7 @@ fn main() -> ExitCode {
 
 /// Runs one non-`all` subcommand; errors bubble up instead of panicking so
 /// a failing grid cell reports which cell died.
-fn run_one(cfg: &ExpConfig, name: &str, trace: Option<&str>) -> Result<(), String> {
+fn run_one(cfg: &ExpConfig, name: &str, cli: &Cli) -> Result<(), String> {
     match name {
         "fig06" => experiments::fig06(cfg).map(drop).map_err(|e| e.to_string()),
         "fig07" => experiments::fig07(cfg).map(drop).map_err(|e| e.to_string()),
@@ -224,7 +244,8 @@ fn run_one(cfg: &ExpConfig, name: &str, trace: Option<&str>) -> Result<(), Strin
         "fig12" => experiments::fig12(cfg).map(drop).map_err(|e| e.to_string()),
         "tab-opt" => run_tab_opt(cfg),
         "fleet-scale" => run_fleet_scale(cfg),
-        "fault-sweep" => run_fault_sweep(cfg, trace),
+        "cluster-scale" => run_cluster_scale(cfg, cli.shards),
+        "fault-sweep" => run_fault_sweep(cfg, cli.trace.as_deref()),
         "bench" => run_bench(cfg),
         _ => unreachable!("parse_args validated the subcommand"),
     }
@@ -272,6 +293,11 @@ fn run_all(cfg: &ExpConfig) -> Vec<(String, String)> {
             "fleet-scale",
             "Fleet scaling — chip-budgeted many-core runtime",
             |c| run_fleet_scale(c),
+        ),
+        (
+            "cluster-scale",
+            "Cluster scaling — hierarchical multi-chip runtime",
+            |c| run_cluster_scale(c, None),
         ),
     ];
     for (name, title, step) in steps {
@@ -330,6 +356,22 @@ fn run_fleet_scale(cfg: &ExpConfig) -> Result<(), String> {
         }
     }
     println!("done; {}", cfg.results.join("fleet_scale.csv").display());
+    Ok(())
+}
+
+fn run_cluster_scale(cfg: &ExpConfig, shards: Option<usize>) -> Result<(), String> {
+    let points = experiments::cluster_scale(cfg, shards).map_err(|e| e.to_string())?;
+    for p in &points {
+        if !p.digests.iter().all(|&(_, d)| d == p.digests[0].1) {
+            return Err(format!(
+                "shard count changed results at {} chips x {} cores: {:?}",
+                p.stats.n_chips,
+                p.stats.total_cores / p.stats.n_chips.max(1),
+                p.digests
+            ));
+        }
+    }
+    println!("done; {}", cfg.results.join("cluster_scale.csv").display());
     Ok(())
 }
 

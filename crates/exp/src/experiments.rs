@@ -955,9 +955,11 @@ pub fn fleet_scale(cfg: &ExpConfig) -> mimo_core::Result<Vec<FleetScalePoint>> {
     let mut points = Vec::new();
     for &n in &[1usize, 4, 16, 64] {
         for &w in &worker_counts {
+            // Never ask for more workers than cores: validate() rejects
+            // explicit over-subscription instead of clamping now.
             let label = format!("fleet-scale/n{n}/w{w}");
             let fleet_cfg = mimo_fleet::FleetConfig::new(n)
-                .workers(w)
+                .workers(w.min(n))
                 .epochs(epochs)
                 .seed(cfg.seed);
             let stats =
@@ -1034,6 +1036,179 @@ pub fn fleet_scale(cfg: &ExpConfig) -> mimo_core::Result<Vec<FleetScalePoint>> {
             ));
         }
         println!("{}", report::comparison_table("Fleet scaling", &cmp));
+    }
+    Ok(points)
+}
+
+// ---------------------------------------------------------------------------
+// Cluster scaling — hierarchical multi-chip fleet under a datacenter budget
+// ---------------------------------------------------------------------------
+
+/// One cluster-scaling data point: a chips × cores-per-chip grid cell,
+/// run at one or more shard counts.
+#[derive(Debug, Clone)]
+pub struct ClusterScalePoint {
+    /// Cluster statistics from the first shard count run (every
+    /// deterministic field is shard-invariant).
+    pub stats: mimo_fleet::ClusterStats,
+    /// `(shard count, digest)` for every run of this cell; all digests
+    /// must match.
+    pub digests: Vec<(usize, u64)>,
+}
+
+/// Sweeps cluster shapes (chips × cores per chip) up to 256 total cores,
+/// every core running a clone of one synthesized MIMO controller, each
+/// chip under its own arbiter and shared-LLC contention model, and the
+/// cluster arbiter re-dividing the datacenter cap every exchange window.
+///
+/// With `shards = None` each shape runs at shard counts {1, 2, 4, 8}
+/// (capped at the chip count) and all runs of a shape must produce
+/// bit-identical digests; `Some(s)` pins a single shard count — the CSV
+/// is byte-identical either way, which is what the CI determinism job
+/// diffs.
+///
+/// # Errors
+///
+/// Propagates controller-design failures and cluster configuration/run
+/// failures, naming the failing `(chips, cores, shards)` cell.
+pub fn cluster_scale(
+    cfg: &ExpConfig,
+    shards: Option<usize>,
+) -> mimo_core::Result<Vec<ClusterScalePoint>> {
+    use mimo_sim::llc::LlcConfig;
+
+    let design = cfg.cache.design_mimo(InputSet::FreqCache, cfg.seed)?;
+    let epochs = cfg.tracking_epochs.min(400);
+    // 16, 64, and 256 total cores.
+    let grid = [(4usize, 4usize), (4, 16), (16, 16)];
+
+    // The cluster runner drives its own shard threads, so the sweep stays
+    // serial at the harness level (same reasoning as fleet_scale).
+    let mut points = Vec::new();
+    for &(chips, cores) in &grid {
+        let shard_counts: Vec<usize> = match shards {
+            Some(s) => vec![s.clamp(1, chips)],
+            None => {
+                let mut v: Vec<usize> = [1usize, 2, 4, 8].iter().map(|&s| s.min(chips)).collect();
+                v.dedup();
+                v
+            }
+        };
+        let mut first: Option<mimo_fleet::ClusterStats> = None;
+        let mut digests = Vec::with_capacity(shard_counts.len());
+        for &s in &shard_counts {
+            let label = format!("cluster-scale/c{chips}x{cores}/s{s}");
+            let ccfg = mimo_fleet::ClusterConfig::new(chips, cores)
+                .epochs(epochs)
+                .shards(s)
+                // A mildly starved way budget (two-thirds of the roomy
+                // default), so contention coupling is actually exercised.
+                .llc_contention(LlcConfig::for_cores(cores).total_ways(4 * cores))
+                .seed(cfg.seed);
+            let started = Instant::now();
+            let stats = mimo_fleet::ClusterRunner::with_shared_controller(ccfg, &design.controller)
+                .and_then(mimo_fleet::ClusterRunner::run)
+                .map_err(|e| cell_err(&label, e))?;
+            cfg.timing
+                .record_cell(&label, started.elapsed().as_secs_f64());
+            // Per-chip stepping wall-clock (rendezvous waits excluded) —
+            // recorded under --timing, never written to the CSV.
+            if cfg.timing.is_enabled() {
+                for (i, chip) in stats.per_chip.iter().enumerate() {
+                    cfg.timing
+                        .record_cell(&format!("{label}/chip{i}"), chip.wall_s);
+                }
+            }
+            digests.push((s, stats.digest()));
+            if first.is_none() {
+                first = Some(stats);
+            }
+        }
+        points.push(ClusterScalePoint {
+            stats: first.expect("at least one shard count per cell"),
+            digests,
+        });
+    }
+
+    if cfg.emit {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                let s = &p.stats;
+                vec![
+                    s.n_chips.to_string(),
+                    (s.total_cores / s.n_chips.max(1)).to_string(),
+                    s.total_cores.to_string(),
+                    s.epochs.to_string(),
+                    s.exchange_period.to_string(),
+                    s.exchanges.to_string(),
+                    s.rebudget_moves.to_string(),
+                    report::fmt(s.agg_ips_err_pct, 2),
+                    report::fmt(s.agg_power_err_pct, 2),
+                    report::fmt(s.avg_cluster_power_w, 3),
+                    report::fmt(s.peak_window_power_w, 3),
+                    report::fmt(s.cluster_cap_w, 3),
+                    format!("{:016x}", p.digests[0].1),
+                ]
+            })
+            .collect();
+        // No shards or wall-clock columns: the file must be byte-identical
+        // no matter which shard count produced it (CI diffs --shards 1/2/4
+        // outputs directly); per-chip wall goes to BENCH_harness.json.
+        let path = cfg.results.write_csv(
+            "cluster_scale.csv",
+            &[
+                "n_chips",
+                "cores_per_chip",
+                "total_cores",
+                "epochs",
+                "exchange_period",
+                "exchanges",
+                "rebudget_moves",
+                "ips_err_pct",
+                "power_err_pct",
+                "avg_cluster_w",
+                "peak_window_w",
+                "cluster_cap_w",
+                "digest",
+            ],
+            &rows,
+        );
+        if let Ok(p) = path {
+            println!("wrote {}", p.display());
+        }
+        let mut cmp = Vec::new();
+        for p in &points {
+            let s = &p.stats;
+            let all_match = p.digests.iter().all(|&(_, d)| d == p.digests[0].1);
+            cmp.push(Comparison::new(
+                &format!(
+                    "{}×{} ({} cores) deterministic across shards",
+                    s.n_chips,
+                    s.total_cores / s.n_chips.max(1),
+                    s.total_cores
+                ),
+                "bit-identical",
+                if all_match {
+                    "bit-identical"
+                } else {
+                    "MISMATCH"
+                },
+            ));
+            cmp.push(Comparison::new(
+                &format!(
+                    "{}×{} budget motion",
+                    s.n_chips,
+                    s.total_cores / s.n_chips.max(1)
+                ),
+                "cluster arbiter moves budget between chips",
+                &format!(
+                    "{} of {} exchanges moved caps",
+                    s.rebudget_moves, s.exchanges
+                ),
+            ));
+        }
+        println!("{}", report::comparison_table("Cluster scaling", &cmp));
     }
     Ok(points)
 }

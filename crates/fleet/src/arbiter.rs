@@ -13,6 +13,8 @@
 use mimo_linalg::Vector;
 use serde::Serialize;
 
+use crate::stats::ChipSummary;
+
 /// How the chip cap is split across cores each epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArbitrationPolicy {
@@ -57,6 +59,9 @@ pub struct BudgetArbiter {
     epochs: u64,
     power_sum: f64,
     peak_power: f64,
+    /// Chip power total of the most recent arbitration (pure store of an
+    /// already-computed value — recording it changes no floating point).
+    last_power: f64,
     /// Per-core grants issued below the nominal power target (one per
     /// throttled core per epoch).
     throttle_events: u64,
@@ -65,7 +70,7 @@ pub struct BudgetArbiter {
 /// Floor on the per-core power target as a fraction of the nominal target;
 /// keeps throttled cores controllable (a zero-power reference would ask
 /// the LQG loop for an unreachable point and wind up its integrator).
-const MIN_TARGET_FRACTION: f64 = 0.2;
+pub(crate) const MIN_TARGET_FRACTION: f64 = 0.2;
 
 impl BudgetArbiter {
     /// Creates an arbiter for `priorities.len()` cores under `cap_w`.
@@ -86,6 +91,7 @@ impl BudgetArbiter {
             epochs: 0,
             power_sum: 0.0,
             peak_power: 0.0,
+            last_power: 0.0,
             throttle_events: 0,
         }
     }
@@ -98,6 +104,25 @@ impl BudgetArbiter {
     /// The chip cap in watts.
     pub fn cap_w(&self) -> f64 {
         self.cap_w
+    }
+
+    /// Replaces the chip cap — how the cluster arbiter retunes a chip at
+    /// an epoch exchange. Takes effect from the next arbitration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or non-positive cap.
+    pub fn set_cap(&mut self, cap_w: f64) {
+        assert!(
+            cap_w.is_finite() && cap_w > 0.0,
+            "cap {cap_w} must be finite and positive"
+        );
+        self.cap_w = cap_w;
+    }
+
+    /// Measured chip power total of the most recent arbitration epoch.
+    pub fn last_chip_power_w(&self) -> f64 {
+        self.last_power
     }
 
     /// Epochs observed so far.
@@ -184,6 +209,7 @@ impl BudgetArbiter {
         };
         self.epochs += 1;
         self.power_sum += total;
+        self.last_power = total;
         if total > self.peak_power {
             self.peak_power = total;
         }
@@ -276,6 +302,210 @@ impl BudgetArbiter {
             .collect();
         self.throttle_events += throttled;
         targets
+    }
+}
+
+/// The cluster-level budget arbiter: re-divides a datacenter power cap
+/// across chips at every epoch exchange.
+///
+/// Where the [`BudgetArbiter`] hands *cores* `[IPS, power]` references
+/// every epoch, the `ClusterArbiter` hands *chips* power caps every K
+/// epochs, from each chip's last published [`ChipSummary`]. The same
+/// [`ArbitrationPolicy`] vocabulary applies — uniform, proportional to
+/// measured chip power, or priority-weighted — and the same two guard
+/// rails: a chip never receives more than its nominal cap, and never less
+/// than its floor (its core count times the per-core floor target), except
+/// when the cluster cap itself cannot cover the summed floors, in which
+/// case every floor is scaled proportionally so no chip ever sees a
+/// negative or zero budget.
+///
+/// Determinism: `rebudget` reduces the chip-indexed summaries in chip
+/// order and is pure in its inputs, so cluster results are bit-identical
+/// at any shard count.
+#[derive(Debug, Clone)]
+pub struct ClusterArbiter {
+    cap_w: f64,
+    policy: ArbitrationPolicy,
+    /// Per-chip nominal caps (the cap each chip was configured with).
+    nominal: Vec<f64>,
+    /// Per-chip floors: `n_cores * MIN_TARGET_FRACTION * base_power`,
+    /// matching what the chip's own arbiter pins a fully-quarantined chip
+    /// to.
+    floors: Vec<f64>,
+    priorities: Vec<f64>,
+    /// Most recently granted caps, indexed by chip.
+    caps: Vec<f64>,
+    exchanges: u64,
+    /// Exchanges in which at least one chip's cap moved (bitwise).
+    rebudget_moves: u64,
+}
+
+impl ClusterArbiter {
+    /// Creates an arbiter over `nominal.len()` chips under `cap_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/mismatched per-chip vectors, a non-positive cap, or
+    /// a floor above its chip's nominal cap.
+    pub fn new(
+        cap_w: f64,
+        policy: ArbitrationPolicy,
+        nominal: Vec<f64>,
+        floors: Vec<f64>,
+        priorities: Vec<f64>,
+    ) -> Self {
+        assert!(
+            !nominal.is_empty(),
+            "cluster arbiter needs at least one chip"
+        );
+        assert_eq!(nominal.len(), floors.len(), "floor count");
+        assert_eq!(nominal.len(), priorities.len(), "priority count");
+        assert!(cap_w.is_finite() && cap_w > 0.0, "cap must be positive");
+        for (i, (&f, &n)) in floors.iter().zip(&nominal).enumerate() {
+            assert!(f > 0.0 && f <= n, "chip {i}: floor {f} vs nominal {n}");
+        }
+        let caps = nominal.clone();
+        ClusterArbiter {
+            cap_w,
+            policy,
+            nominal,
+            floors,
+            priorities,
+            caps,
+            exchanges: 0,
+            rebudget_moves: 0,
+        }
+    }
+
+    /// Number of chips arbitrated.
+    pub fn n_chips(&self) -> usize {
+        self.nominal.len()
+    }
+
+    /// The cluster power cap in watts.
+    pub fn cap_w(&self) -> f64 {
+        self.cap_w
+    }
+
+    /// The most recently granted per-chip caps, indexed by chip.
+    pub fn caps(&self) -> &[f64] {
+        &self.caps
+    }
+
+    /// Epoch exchanges processed so far (bootstrap excluded).
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Exchanges in which at least one chip's cap changed bit-wise — the
+    /// count of times the cluster actually moved budget between chips.
+    pub fn rebudget_moves(&self) -> u64 {
+        self.rebudget_moves
+    }
+
+    /// Divides the cluster cap before any epoch has run (no summaries
+    /// exist yet): all chips healthy, zero measured power, so every policy
+    /// degrades to the uniform split. Does not count as an exchange.
+    pub fn bootstrap(&mut self) -> Vec<f64> {
+        let blank: Vec<ChipSummary> = (0..self.n_chips())
+            .map(|chip| ChipSummary {
+                chip,
+                n_cores: 1,
+                window_epochs: 0,
+                avg_power_w: 0.0,
+                avg_ips: 0.0,
+                quarantined_cores: 0,
+            })
+            .collect();
+        self.caps = self.compute(&blank);
+        self.caps.clone()
+    }
+
+    /// Consumes the chips' window summaries (indexed by chip) and returns
+    /// each chip's next power cap. Reductions run in chip order.
+    ///
+    /// A chip whose every core is quarantined is pinned at its floor and
+    /// its headroom is redistributed to the healthy chips; when the
+    /// cluster cap is below the sum of floors, every floor scales
+    /// proportionally instead (no chip budget ever reaches zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `summaries` does not have one entry per chip.
+    pub fn rebudget(&mut self, summaries: &[ChipSummary]) -> Vec<f64> {
+        let caps = self.compute(summaries);
+        self.exchanges += 1;
+        if caps
+            .iter()
+            .zip(&self.caps)
+            .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            self.rebudget_moves += 1;
+        }
+        self.caps = caps;
+        self.caps.clone()
+    }
+
+    fn compute(&self, summaries: &[ChipSummary]) -> Vec<f64> {
+        assert_eq!(summaries.len(), self.n_chips(), "summary count");
+        let n = self.n_chips();
+        let floor_sum: f64 = self.floors.iter().sum();
+        if self.cap_w < floor_sum {
+            // Proportional floor scaling: every chip below its floor, none
+            // negative, and the grants still sum to the cluster cap.
+            return self
+                .floors
+                .iter()
+                .map(|&f| self.cap_w * f / floor_sum)
+                .collect();
+        }
+        let dead = |i: usize| {
+            summaries[i].n_cores > 0 && summaries[i].quarantined_cores == summaries[i].n_cores
+        };
+        let dead_floor: f64 = (0..n).filter(|&i| dead(i)).map(|i| self.floors[i]).sum();
+        let healthy: Vec<usize> = (0..n).filter(|&i| !dead(i)).collect();
+        if healthy.is_empty() {
+            // Every chip fully quarantined: pin the whole cluster at floors.
+            return self.floors.clone();
+        }
+        let avail = self.cap_w - dead_floor;
+        if let [only] = healthy[..] {
+            // Single eligible chip: grant the whole remainder directly.
+            // (Clamping `avail` itself — rather than `avail * w / w_sum`,
+            // which is not bit-exactly `avail` in IEEE arithmetic — is what
+            // lets a one-chip cluster reproduce the configured chip cap bit
+            // for bit.)
+            return (0..n)
+                .map(|i| {
+                    if i == only {
+                        avail.clamp(self.floors[i], self.nominal[i])
+                    } else {
+                        self.floors[i]
+                    }
+                })
+                .collect();
+        }
+        let weight = |i: usize| match self.policy {
+            ArbitrationPolicy::Uniform => 1.0,
+            ArbitrationPolicy::Proportional => summaries[i].avg_power_w,
+            ArbitrationPolicy::PriorityWeighted => self.priorities[i],
+        };
+        let mut weight_sum: f64 = healthy.iter().map(|&i| weight(i)).sum();
+        let uniform = weight_sum <= 0.0; // zero-power proportional window
+        if uniform {
+            weight_sum = healthy.len() as f64;
+        }
+        (0..n)
+            .map(|i| {
+                if dead(i) {
+                    self.floors[i]
+                } else {
+                    let w = if uniform { 1.0 } else { weight(i) };
+                    let budget = avail * w / weight_sum;
+                    budget.clamp(self.floors[i], self.nominal[i])
+                }
+            })
+            .collect()
     }
 }
 
@@ -431,5 +661,147 @@ mod tests {
         );
         let t = arb.arbitrate(&obs(&[0.0, 0.0]));
         assert!((t[0][1] - t[1][1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_cap_retunes_subsequent_arbitrations() {
+        let mut arb = BudgetArbiter::new(4.0, ArbitrationPolicy::Uniform, [3.0, 1.9], vec![1.0; 4]);
+        let before = arb.arbitrate(&obs(&[1.0; 4]));
+        arb.set_cap(2.0);
+        let after = arb.arbitrate(&obs(&[1.0; 4]));
+        assert!((before[0][1] - 1.0).abs() < 1e-12);
+        assert!((after[0][1] - 0.5).abs() < 1e-12);
+        assert!((arb.last_chip_power_w() - 4.0).abs() < 1e-12);
+    }
+
+    // --- ClusterArbiter -------------------------------------------------
+
+    /// 4-core chips with the default targets: floor = 4 · 0.2 · 1.9.
+    fn summaries(avg_powers: &[f64]) -> Vec<ChipSummary> {
+        avg_powers
+            .iter()
+            .enumerate()
+            .map(|(chip, &p)| ChipSummary {
+                chip,
+                n_cores: 4,
+                window_epochs: 25,
+                avg_power_w: p,
+                avg_ips: 8.0,
+                quarantined_cores: 0,
+            })
+            .collect()
+    }
+
+    fn cluster(cap: f64, policy: ArbitrationPolicy, chips: usize) -> ClusterArbiter {
+        let floor: f64 = 4.0 * 0.2 * 1.9;
+        ClusterArbiter::new(
+            cap,
+            policy,
+            vec![4.8; chips],
+            vec![floor; chips],
+            vec![1.0; chips],
+        )
+    }
+
+    #[test]
+    fn cluster_uniform_splits_and_clamps_to_nominal() {
+        let mut arb = cluster(19.2, ArbitrationPolicy::Uniform, 4);
+        let caps = arb.rebudget(&summaries(&[3.0, 1.0, 1.0, 1.0]));
+        for &c in &caps {
+            assert!((c - 4.8).abs() < 1e-12, "{caps:?}");
+        }
+        assert_eq!(arb.exchanges(), 1);
+    }
+
+    #[test]
+    fn cluster_proportional_follows_chip_demand() {
+        let mut arb = cluster(8.0, ArbitrationPolicy::Proportional, 2);
+        let caps = arb.rebudget(&summaries(&[3.0, 1.0]));
+        // 3:1 demand split of 8 W → 6 W vs 2 W, clamped to nominal 4.8.
+        assert!((caps[0] - 4.8).abs() < 1e-12, "{caps:?}");
+        assert!((caps[1] - 2.0).abs() < 1e-12, "{caps:?}");
+        assert_eq!(arb.rebudget_moves(), 1);
+    }
+
+    #[test]
+    fn single_chip_cluster_grants_the_exact_cap() {
+        // Bit-exactness, not approximation: this is what lets a one-chip
+        // cluster reproduce the single-chip golden digests.
+        for policy in [
+            ArbitrationPolicy::Uniform,
+            ArbitrationPolicy::Proportional,
+            ArbitrationPolicy::PriorityWeighted,
+        ] {
+            let mut arb = cluster(4.8, policy, 1);
+            let caps = arb.rebudget(&summaries(&[3.7]));
+            assert_eq!(caps[0].to_bits(), 4.8f64.to_bits(), "{policy:?}");
+            let boot = cluster(4.8, policy, 1).bootstrap();
+            assert_eq!(boot[0].to_bits(), 4.8f64.to_bits(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn dead_chip_pinned_at_floor_and_budget_redistributed() {
+        let mut arb = cluster(12.0, ArbitrationPolicy::Uniform, 3);
+        let mut s = summaries(&[2.0, 2.0, 2.0]);
+        s[1].quarantined_cores = 4; // every core on chip 1 quarantined
+        let caps = arb.rebudget(&s);
+        let floor: f64 = 4.0 * 0.2 * 1.9;
+        assert_eq!(caps[1].to_bits(), floor.to_bits());
+        // The freed budget flows to the healthy chips (capped at nominal).
+        let share = ((12.0 - floor) / 2.0).clamp(floor, 4.8);
+        assert!((caps[0] - share).abs() < 1e-12, "{caps:?}");
+        assert!((caps[2] - share).abs() < 1e-12, "{caps:?}");
+        // Partial quarantine is NOT dead: the chip's own arbiter handles it.
+        let mut partial = summaries(&[2.0, 2.0, 2.0]);
+        partial[1].quarantined_cores = 3;
+        let caps = arb.rebudget(&partial);
+        assert!(caps[1] > floor, "{caps:?}");
+    }
+
+    #[test]
+    fn all_chips_dead_pins_every_floor() {
+        let mut arb = cluster(12.0, ArbitrationPolicy::Proportional, 2);
+        let mut s = summaries(&[2.0, 2.0]);
+        s[0].quarantined_cores = 4;
+        s[1].quarantined_cores = 4;
+        let caps = arb.rebudget(&s);
+        let floor: f64 = 4.0 * 0.2 * 1.9;
+        assert_eq!(caps[0].to_bits(), floor.to_bits());
+        assert_eq!(caps[1].to_bits(), floor.to_bits());
+    }
+
+    #[test]
+    fn cap_below_floor_sum_scales_floors_proportionally() {
+        // 3 chips, floor 1.52 each, floor sum 4.56 — cap 2.28 is half.
+        let mut arb = cluster(2.28, ArbitrationPolicy::Proportional, 3);
+        let caps = arb.rebudget(&summaries(&[2.0, 0.1, 9.0]));
+        let floor: f64 = 4.0 * 0.2 * 1.9;
+        for &c in &caps {
+            assert!(c > 0.0, "no negative or zero grants: {caps:?}");
+            assert!((c - 0.5 * floor).abs() < 1e-12, "{caps:?}");
+        }
+        // Grants still sum to the cluster cap.
+        assert!((caps.iter().sum::<f64>() - 2.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_power_window_degrades_to_uniform() {
+        let mut arb = cluster(4.0, ArbitrationPolicy::Proportional, 2);
+        let caps = arb.rebudget(&summaries(&[0.0, 0.0]));
+        assert_eq!(caps[0].to_bits(), caps[1].to_bits());
+        assert!(caps[0] >= 4.0 * 0.2 * 1.9);
+    }
+
+    #[test]
+    fn unmoved_exchange_does_not_count_as_a_move() {
+        let mut arb = cluster(19.2, ArbitrationPolicy::Uniform, 4);
+        arb.bootstrap();
+        arb.rebudget(&summaries(&[1.0; 4]));
+        arb.rebudget(&summaries(&[1.0; 4]));
+        assert_eq!(arb.exchanges(), 2);
+        // Uniform split of an ample cap clamps at nominal every time — the
+        // caps never move.
+        assert_eq!(arb.rebudget_moves(), 0);
     }
 }

@@ -2,6 +2,7 @@
 
 use mimo_core::telemetry::TelemetryConfig;
 use mimo_sim::fault::FaultSpec;
+use mimo_sim::llc::LlcConfig;
 use mimo_sim::workload::{catalog_names, is_non_responsive, is_training};
 use mimo_sim::InputSet;
 
@@ -61,6 +62,12 @@ pub struct FleetConfig {
     /// path (a `None` sink), preserving golden digests and the
     /// allocation-free guarantee.
     pub telemetry: TelemetryConfig,
+    /// Shared-LLC contention coupling. `None` (the default) runs every
+    /// core's cache in isolation, exactly as before the model existed;
+    /// `Some` charges each core's applied L2 ways against a chip-wide way
+    /// budget and raises neighbors' effective miss pressure when the chip
+    /// oversubscribes it (see [`mimo_sim::llc`]).
+    pub llc: Option<LlcConfig>,
 }
 
 impl FleetConfig {
@@ -81,6 +88,7 @@ impl FleetConfig {
             fault_rate: 0.0,
             core_faults: Vec::new(),
             telemetry: TelemetryConfig::off(),
+            llc: None,
         }
     }
 
@@ -140,6 +148,12 @@ impl FleetConfig {
     /// Sets the base seed (builder style).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables shared-LLC contention coupling (builder style).
+    pub fn llc_contention(mut self, llc: LlcConfig) -> Self {
+        self.llc = Some(llc);
         self
     }
 
@@ -208,6 +222,20 @@ impl FleetConfig {
                     self.n_cores
                 ),
             });
+        }
+        // An explicit worker count beyond the core count is a config
+        // mistake, not something to silently clamp (`workers == 0` still
+        // means "auto", which is clamped to the core count).
+        if self.workers > self.n_cores {
+            return Err(FleetError::InvalidConfig {
+                what: format!(
+                    "workers = {} exceeds n_cores = {}; use workers(0) for auto",
+                    self.workers, self.n_cores
+                ),
+            });
+        }
+        if let Some(llc) = &self.llc {
+            llc.validate(self.n_cores)?;
         }
         Ok(())
     }
@@ -312,10 +340,31 @@ mod tests {
     }
 
     #[test]
-    fn effective_workers_clamped_to_cores() {
-        assert_eq!(FleetConfig::new(4).workers(16).effective_workers(), 4);
-        assert_eq!(FleetConfig::new(4).workers(2).effective_workers(), 2);
+    fn effective_workers_clamps_auto_but_validate_rejects_explicit_excess() {
+        // Auto (`workers == 0`) clamps to the core count …
         assert!(FleetConfig::new(64).workers(0).effective_workers() >= 1);
+        assert!(FleetConfig::new(2).workers(0).effective_workers() <= 2);
+        assert_eq!(FleetConfig::new(4).workers(2).effective_workers(), 2);
+        // … but an explicit over-subscription is a loud error now.
+        let err = FleetConfig::new(4).workers(16).validate().unwrap_err();
+        assert!(
+            err.to_string().contains("workers = 16 exceeds n_cores = 4"),
+            "{err}"
+        );
+        assert!(FleetConfig::new(4).workers(4).validate().is_ok());
+    }
+
+    #[test]
+    fn llc_config_is_validated() {
+        use mimo_sim::llc::LlcConfig;
+        // Fewer ways than cores cannot grant everyone one way.
+        let starved = LlcConfig::for_cores(4).total_ways(2);
+        assert!(FleetConfig::new(4)
+            .llc_contention(starved)
+            .validate()
+            .is_err());
+        let ok = LlcConfig::for_cores(4);
+        assert!(FleetConfig::new(4).llc_contention(ok).validate().is_ok());
     }
 
     #[test]

@@ -38,19 +38,37 @@
 //! returned [`FleetTelemetry`] holds each core's recent epoch records,
 //! quarantine events, and merged metrics — with JSONL/CSV export that
 //! drains strictly outside the hot loop.
+//!
+//! # Scaling past one chip
+//!
+//! Above the chip sits the two-level hierarchy of [`ClusterRunner`]: a
+//! [`Cluster`](ClusterConfig) of [`Chip`]s, each chip keeping its own
+//! lock-step beat while whole chips are sharded across worker threads with
+//! **no global per-epoch barrier**. A [`ClusterArbiter`] re-divides the
+//! datacenter power cap across chips only every
+//! [`exchange_period`](ClusterConfig::exchange_period) chip epochs, from
+//! each chip's last published [`ChipSummary`] — so chips drift
+//! independently between exchanges, yet [`ClusterStats`] stay bit-identical
+//! at any shard count, and a cluster of one chip reproduces a single-chip
+//! fleet's golden digests exactly.
 
 #![warn(missing_docs)]
 
 pub mod arbiter;
+pub mod chip;
+pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod runner;
+mod shard;
 pub mod stats;
 pub mod telemetry;
 
-pub use arbiter::{ArbitrationPolicy, BudgetArbiter, CoreObs};
+pub use arbiter::{ArbitrationPolicy, BudgetArbiter, ClusterArbiter, CoreObs};
+pub use chip::Chip;
+pub use cluster::{ClusterConfig, ClusterRunner};
 pub use config::{default_fleet_apps, CoreSpec, FleetConfig};
 pub use error::{FleetError, Result};
 pub use runner::FleetRunner;
-pub use stats::{CoreStats, FleetStats};
-pub use telemetry::{CoreTelemetry, FleetTelemetry};
+pub use stats::{ChipSummary, ClusterStats, CoreStats, FleetStats};
+pub use telemetry::{ClusterTelemetry, CoreTelemetry, FleetTelemetry};

@@ -1,4 +1,5 @@
-//! The fleet runtime: lock-step epoch scheduling across worker threads.
+//! The single-chip fleet runtime: lock-step epoch scheduling across worker
+//! threads.
 //!
 //! Every core owns a plant and a governor. Each 50 µs epoch proceeds in
 //! three beats:
@@ -9,132 +10,37 @@
 //!    core-indexed observation table.
 //! 2. **Arbitrate** — after a barrier, one worker (the barrier leader)
 //!    runs the [`BudgetArbiter`] over the full table, producing next
-//!    epoch's per-core `[IPS, power]` references.
+//!    epoch's per-core `[IPS, power]` references — and, when the config
+//!    enables shared-LLC contention, refreshes the per-core miss-pressure
+//!    penalties from the core-ordered way allocations.
 //! 3. **Retarget** — after a second barrier, every worker installs its
-//!    cores' new references into their governors.
+//!    cores' new references (and LLC penalties) into their governors and
+//!    plants.
 //!
 //! Determinism: core seeds derive from the base seed and core index only,
 //! the observation table is indexed by core, and the arbiter reduces in
 //! core order — so results are bit-identical no matter how many workers
 //! stepped the cores. The single-worker case runs the same code path with
 //! a one-party barrier.
+//!
+//! For multi-chip fleets, see [`ClusterRunner`](crate::ClusterRunner):
+//! whole chips become the unit of parallelism ([`Chip`](crate::Chip) steps
+//! a chip's beat serially) and this per-epoch barrier disappears.
 
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
-use mimo_core::engine::{fleet_warmup, EpochLoop, StepOutcome, TrackingErrorAccumulator};
 use mimo_core::governor::{fast_governor, Governor, MimoGovernor};
-use mimo_core::heuristic::{HeuristicTracker, SensitivityRanking};
 use mimo_core::lqg::LqgController;
-use mimo_core::telemetry::TelemetrySink;
 use mimo_linalg::Vector;
-use mimo_sim::fault::{FaultInjector, FaultPlan};
-use mimo_sim::{Plant, Processor, ProcessorBuilder};
+use mimo_sim::llc::SharedLlc;
 
 use crate::arbiter::{BudgetArbiter, CoreObs};
+use crate::chip::{build_cells, CoreCell};
 use crate::config::{CoreSpec, FleetConfig};
-use crate::error::{FleetError, Result};
+use crate::error::Result;
 use crate::stats::{CoreStats, FleetStats};
 use crate::telemetry::{CoreTelemetry, FleetTelemetry};
-
-/// Epoch length of each random transient fault injected by
-/// [`FleetConfig::fault_rate`].
-const TRANSIENT_FAULT_EPOCHS: u64 = 3;
-
-/// One core: a shared epoch engine around the plant/governor pair, plus
-/// accumulated error statistics.
-struct CoreCell {
-    idx: usize,
-    spec: CoreSpec,
-    /// The observer slot is `Option<TelemetrySink>`: `None` (untraced
-    /// fleets) reports statically disabled, so the hot loop skips record
-    /// capture entirely and stays bit-and-allocation identical to the
-    /// pre-telemetry runtime.
-    lp: EpochLoop<Box<dyn Governor + Send>, FaultInjector<Processor>, Option<TelemetrySink>>,
-    /// Reference active during the current epoch (set by arbitration at
-    /// the end of the previous one).
-    target: Vector,
-    errs: TrackingErrorAccumulator,
-    /// Whether the heuristic fallback governor has replaced the original
-    /// (done once, on the first quarantine).
-    fallback_installed: bool,
-}
-
-impl CoreCell {
-    /// Runs one epoch and returns the measurement for the arbiter plus
-    /// whether this epoch crossed into quarantine.
-    fn step(&mut self) -> (CoreObs, bool) {
-        let outcome = self.lp.step();
-        // On faulted epochs the engine substitutes the last healthy
-        // measurement, so the observation table stays finite.
-        let y = self.lp.outputs();
-        let obs = CoreObs {
-            ips: y[0],
-            power: y[1],
-        };
-        self.errs.record(y, &self.target);
-        (obs, matches!(outcome, StepOutcome::Quarantined(_)))
-    }
-
-    /// Reacts to a quarantine verdict: the first time around, swap the
-    /// failing governor for the rule-based heuristic fallback (which
-    /// carries no internal model state to corrupt) and clear the engine's
-    /// failure latch so the fallback gets a chance. If the fallback itself
-    /// quarantines — a plant fault no governor can mask — the core simply
-    /// stays latched and the arbiter keeps it pinned at the floor budget.
-    fn handle_quarantine(&mut self) {
-        if self.fallback_installed {
-            return;
-        }
-        let grids = self.lp.input_grids().to_vec();
-        let ranking = SensitivityRanking::frequency_first(grids.len());
-        let fallback = HeuristicTracker::new(grids, ranking, self.target.clone());
-        *self.lp.governor_mut() = Box::new(fallback);
-        self.lp.set_targets(&self.target);
-        self.lp.reset_health();
-        self.fallback_installed = true;
-    }
-
-    /// Installs the arbiter's new reference for the next epoch.
-    fn retarget(&mut self, target: &Vector) {
-        self.target.copy_from(target);
-        self.lp.set_targets(target);
-    }
-
-    /// Drains the core after the run: statistics always, telemetry when a
-    /// sink was attached.
-    fn into_results(mut self) -> (CoreStats, Option<CoreTelemetry>) {
-        let avg_ips_err_pct = self.errs.avg_pct(0);
-        let avg_power_err_pct = self.errs.avg_pct(1);
-        let fault_epochs = self.lp.fault_epochs();
-        let quarantine_epoch = self.lp.quarantine_epoch();
-        self.lp.finish();
-        let (_, plant, sink) = self.lp.into_parts();
-        let telemetry = sink.map(|sink| CoreTelemetry {
-            core: self.idx,
-            trace: sink.trace.to_vec(),
-            metrics: sink.metrics,
-            quarantine: sink.quarantine,
-            summary: sink.summary,
-            injected_faults: *plant.injected_by_kind(),
-        });
-        let totals = plant.inner().totals();
-        let stats = CoreStats {
-            core: self.idx,
-            app: self.spec.app,
-            seed: self.spec.seed,
-            avg_ips_err_pct,
-            avg_power_err_pct,
-            avg_power_w: totals.avg_power(),
-            energy_j: totals.energy_j,
-            instructions_g: totals.instructions_g,
-            fault_epochs,
-            quarantined: quarantine_epoch.is_some(),
-            quarantine_epoch,
-        };
-        (stats, telemetry)
-    }
-}
 
 /// State exchanged between workers once per epoch.
 struct Shared {
@@ -144,6 +50,12 @@ struct Shared {
     /// Quarantine latch per core; once set, the arbiter pins that core at
     /// the floor budget and redistributes the rest.
     quarantined: Vec<bool>,
+    /// Applied L2 ways per core, refreshed each epoch — only read when the
+    /// contention model is on.
+    ways: Vec<f64>,
+    /// The shared-LLC contention model; `None` leaves the hot loop
+    /// bit-identical to the pre-contention runtime.
+    llc: Option<SharedLlc>,
 }
 
 /// Runs a fleet of independently governed cores under one chip budget.
@@ -158,72 +70,14 @@ impl FleetRunner {
     ///
     /// # Errors
     ///
-    /// Returns [`FleetError::InvalidConfig`] for a bad configuration or a
+    /// Returns [`FleetError::InvalidConfig`](crate::FleetError::InvalidConfig) for a bad configuration or a
     /// governor whose input count does not match the plant, and
-    /// [`FleetError::Sim`] if a plant fails to build.
+    /// [`FleetError::Sim`](crate::FleetError::Sim) if a plant fails to build.
     pub fn new<F>(cfg: FleetConfig, mut factory: F) -> Result<Self>
     where
         F: FnMut(usize, &CoreSpec) -> Box<dyn Governor + Send>,
     {
-        cfg.validate()?;
-        let warmup = fleet_warmup(cfg.epochs);
-        let base = Vector::from_slice(&cfg.base_targets);
-        let mut cells = Vec::with_capacity(cfg.n_cores);
-        for (idx, spec) in cfg.core_specs().into_iter().enumerate() {
-            let plant = ProcessorBuilder::new()
-                .app(&spec.app)
-                .seed(spec.seed)
-                .input_set(cfg.input_set)
-                .build()?;
-            let gov = factory(idx, &spec);
-            if gov.num_inputs() != plant.num_inputs() {
-                return Err(FleetError::InvalidConfig {
-                    what: format!(
-                        "core {idx}: governor actuates {} inputs, plant has {}",
-                        gov.num_inputs(),
-                        plant.num_inputs()
-                    ),
-                });
-            }
-            // Every plant is wrapped in a fault injector; with no faults
-            // configured the wrapper is transparent (no RNG draws), so
-            // fault-free fleets remain bit-identical to the bare runtime.
-            // The transient seed derives from the core's own seed, keeping
-            // the fault sequence independent of the worker count.
-            let mut plan = if cfg.fault_rate > 0.0 {
-                FaultPlan::transient(
-                    cfg.fault_rate,
-                    TRANSIENT_FAULT_EPOCHS,
-                    spec.seed.rotate_left(17) ^ 0xFA01_7B0C_5EED_F417,
-                )
-            } else {
-                FaultPlan::none()
-            };
-            for (core, fspec) in &cfg.core_faults {
-                if *core == idx {
-                    plan = plan.with_fault(*fspec);
-                }
-            }
-            // A `None` sink is a statically-disabled observer; traced
-            // fleets give every core its own sink so no telemetry state is
-            // shared across worker threads.
-            let sink = if cfg.telemetry.enabled {
-                Some(TelemetrySink::new(&cfg.telemetry))
-            } else {
-                None
-            };
-            let mut lp = EpochLoop::new(gov, FaultInjector::new(plant, plan)).with_observer(sink);
-            lp.set_core(idx);
-            lp.set_targets(&base);
-            cells.push(CoreCell {
-                idx,
-                spec,
-                lp,
-                target: base.clone(),
-                errs: TrackingErrorAccumulator::new(2, warmup),
-                fallback_installed: false,
-            });
-        }
+        let cells = build_cells(&cfg, &mut factory)?;
         Ok(FleetRunner { cfg, cells })
     }
 
@@ -264,7 +118,7 @@ impl FleetRunner {
     ///
     /// # Errors
     ///
-    /// Returns [`FleetError::InvalidConfig`] if the configuration fails
+    /// Returns [`FleetError::InvalidConfig`](crate::FleetError::InvalidConfig) if the configuration fails
     /// [`FleetConfig::validate`] (re-checked here so mutations after
     /// [`FleetRunner::new`] cannot slip through).
     pub fn run(self) -> Result<FleetStats> {
@@ -286,6 +140,11 @@ impl FleetRunner {
         let chunk = n.div_ceil(workers);
         let base = Vector::from_slice(&self.cfg.base_targets);
         let priorities: Vec<f64> = self.cells.iter().map(|c| c.spec.priority).collect();
+        let llc = match self.cfg.llc {
+            Some(lcfg) => Some(SharedLlc::new(lcfg, n)?),
+            None => None,
+        };
+        let contended = llc.is_some();
         let shared = Mutex::new(Shared {
             obs: vec![
                 CoreObs {
@@ -302,6 +161,8 @@ impl FleetRunner {
                 priorities,
             ),
             quarantined: vec![false; n],
+            ways: vec![0.0; n],
+            llc,
         });
         // chunks_mut may produce fewer chunks than requested workers when
         // n is small; the barrier must match the actual party count.
@@ -314,7 +175,7 @@ impl FleetRunner {
                 let shared = &shared;
                 let barrier = &barrier;
                 scope.spawn(move || {
-                    let mut local: Vec<(CoreObs, bool)> = Vec::with_capacity(band.len());
+                    let mut local: Vec<(CoreObs, bool, f64)> = Vec::with_capacity(band.len());
                     for _ in 0..epochs {
                         // Beat 1: step this worker's cores; react to fresh
                         // quarantines by installing the fallback governor.
@@ -327,16 +188,25 @@ impl FleetRunner {
                             // Report the live latch: a core the fallback
                             // rescues regains budget; a permanently faulted
                             // one re-latches and stays pinned at the floor.
-                            local.push((obs, cell.lp.is_quarantined()));
+                            let ways = if contended {
+                                cell.applied_l2_ways()
+                            } else {
+                                0.0
+                            };
+                            local.push((obs, cell.lp.is_quarantined(), ways));
                         }
                         {
                             let mut s = shared.lock().unwrap();
-                            for (cell, &(o, q)) in band.iter().zip(&local) {
+                            for (cell, &(o, q, w)) in band.iter().zip(&local) {
                                 s.obs[cell.idx] = o;
                                 s.quarantined[cell.idx] = q;
+                                if contended {
+                                    s.ways[cell.idx] = w;
+                                }
                             }
                         }
-                        // Beat 2: leader arbitrates over the full table.
+                        // Beat 2: leader arbitrates over the full table and
+                        // refreshes the contention penalties in core order.
                         if barrier.wait().is_leader() {
                             let mut s = shared.lock().unwrap();
                             let obs = std::mem::take(&mut s.obs);
@@ -344,6 +214,11 @@ impl FleetRunner {
                             s.targets = s.arbiter.arbitrate_with_quarantine(&obs, &quarantined);
                             s.obs = obs;
                             s.quarantined = quarantined;
+                            let ways = std::mem::take(&mut s.ways);
+                            if let Some(llc) = &mut s.llc {
+                                llc.update(&ways);
+                            }
+                            s.ways = ways;
                         }
                         // Beat 3: everyone installs the new references.
                         barrier.wait();
@@ -351,6 +226,9 @@ impl FleetRunner {
                             let s = shared.lock().unwrap();
                             for cell in band.iter_mut() {
                                 cell.retarget(&s.targets[cell.idx]);
+                                if let Some(llc) = &s.llc {
+                                    cell.set_llc_penalty(llc.penalty(cell.idx));
+                                }
                             }
                         }
                     }
@@ -370,36 +248,7 @@ impl FleetRunner {
             }
         }
         let telemetry = FleetTelemetry::from_cores(per_core_telemetry);
-        let nf = per_core.len().max(1) as f64;
-        let stats = FleetStats {
-            n_cores: n,
-            workers: parties,
-            epochs,
-            policy: self.cfg.policy.label().to_string(),
-            chip_cap_w: self.cfg.chip_power_cap_w,
-            cap_violation_epochs: arbiter.violations(),
-            cap_violation_pct: if epochs == 0 {
-                0.0
-            } else {
-                100.0 * arbiter.violations() as f64 / epochs as f64
-            },
-            avg_chip_power_w: arbiter.avg_chip_power_w(),
-            peak_chip_power_w: arbiter.peak_chip_power_w(),
-            agg_ips_err_pct: per_core.iter().map(|c| c.avg_ips_err_pct).sum::<f64>() / nf,
-            agg_power_err_pct: per_core.iter().map(|c| c.avg_power_err_pct).sum::<f64>() / nf,
-            energy_j: per_core.iter().map(|c| c.energy_j).sum(),
-            instructions_g: per_core.iter().map(|c| c.instructions_g).sum(),
-            quarantined_cores: per_core.iter().filter(|c| c.quarantined).count(),
-            fault_epochs: per_core.iter().map(|c| c.fault_epochs).sum(),
-            throttle_events: arbiter.throttle_events(),
-            wall_s,
-            epochs_per_sec: if wall_s > 0.0 {
-                epochs as f64 / wall_s
-            } else {
-                0.0
-            },
-            per_core,
-        };
+        let stats = FleetStats::assemble(&self.cfg, parties, epochs, &arbiter, per_core, wall_s);
         Ok((stats, telemetry))
     }
 }
@@ -408,7 +257,9 @@ impl FleetRunner {
 mod tests {
     use super::*;
     use crate::arbiter::ArbitrationPolicy;
+    use crate::error::FleetError;
     use mimo_core::governor::FixedGovernor;
+    use mimo_sim::llc::LlcConfig;
 
     fn fixed_factory() -> impl FnMut(usize, &CoreSpec) -> Box<dyn Governor + Send> {
         |_, _| Box::new(FixedGovernor::new(Vector::from_slice(&[1.3, 6.0])))
@@ -440,6 +291,29 @@ mod tests {
         assert_eq!(one, four);
         assert_eq!(one.digest(), two.digest());
         assert_eq!(one.digest(), four.digest());
+    }
+
+    #[test]
+    fn contended_fleet_is_deterministic_across_worker_counts() {
+        // 1 way/core of budget vs the 6 ways/core the governor holds:
+        // sustained contention, still bit-identical at any worker count.
+        let tight = LlcConfig::for_cores(4).total_ways(4);
+        let run = |workers| {
+            FleetRunner::new(small(workers).llc_contention(tight), fixed_factory())
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one, four);
+        assert_eq!(one.digest(), four.digest());
+        // And the contention must actually bite.
+        let plain = FleetRunner::new(small(1), fixed_factory())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_ne!(one.digest(), plain.digest());
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Chip sharding: whole chips on worker threads, rendezvous only at
+//! exchange windows.
+//!
+//! Unlike the single-chip [`FleetRunner`](crate::FleetRunner), which
+//! barriers its workers twice per epoch, the cluster shards synchronize
+//! only every [`exchange_period`](crate::ClusterConfig::exchange_period)
+//! chip epochs. Each shard owns a contiguous run of chips and steps each
+//! of them through the whole window back to back — the hot loop takes no
+//! locks at all. At the window boundary every shard deposits its chips'
+//! published [`ChipSummary`](crate::ChipSummary) snapshots under one
+//! mutex; whichever shard arrives *last* reduces the summaries in chip
+//! order, asks the [`ClusterArbiter`](crate::ClusterArbiter) for fresh
+//! per-chip caps, and wakes the others. Arrival order therefore affects
+//! only who performs the reduction, never its operand order — which is
+//! what keeps [`ClusterStats`](crate::ClusterStats) bit-identical at any
+//! shard count.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::arbiter::ClusterArbiter;
+use crate::chip::Chip;
+use crate::stats::ChipSummary;
+
+/// What the sharded run hands back to the cluster runner.
+pub(crate) struct ShardOutcome {
+    /// Budget exchanges performed (windows minus the final one).
+    pub exchanges: u64,
+    /// Exchanges that moved at least one chip cap bitwise.
+    pub rebudget_moves: u64,
+    /// Largest window-mean cluster power observed at any window boundary,
+    /// watts (chip-order sum of per-chip window means).
+    pub peak_window_power_w: f64,
+}
+
+/// Shared state of one window rendezvous.
+struct Exchange {
+    /// Summary slots, indexed by chip; all `Some` once every shard has
+    /// deposited.
+    summaries: Vec<Option<ChipSummary>>,
+    /// Current per-chip caps, refreshed by the last-arriving shard.
+    caps: Vec<f64>,
+    /// Chips deposited so far this window.
+    arrived: usize,
+    /// Windows fully completed — the generation counter shards wait on.
+    window: usize,
+    peak_window_power_w: f64,
+}
+
+/// Runs `chips` for `epochs` chip epochs, sharded `shards` ways, with a
+/// budget exchange every `period` epochs. Chips are dealt to shards in
+/// contiguous chunks; the caller passes `shards >= 1` and
+/// `chips.len() >= 1`.
+pub(crate) fn run_sharded(
+    chips: &mut [Chip],
+    arbiter: &mut ClusterArbiter,
+    epochs: usize,
+    period: usize,
+    shards: usize,
+) -> ShardOutcome {
+    let n_chips = chips.len();
+    // Divide the cap once before epoch 0 so every chip starts under a
+    // cluster-granted budget (for a lone chip this is exactly the nominal
+    // single-chip cap — bit-for-bit).
+    let caps = arbiter.bootstrap();
+    for chip in chips.iter_mut() {
+        chip.set_power_cap(caps[chip.index()]);
+    }
+    // Window plan: full `period`-epoch windows plus a possibly-shorter
+    // tail. Shards must agree on the count, so it derives from config only.
+    let n_windows = epochs
+        .div_ceil(period.max(1))
+        .max(if epochs == 0 { 0 } else { 1 });
+    if n_windows == 0 {
+        return ShardOutcome {
+            exchanges: 0,
+            rebudget_moves: 0,
+            peak_window_power_w: 0.0,
+        };
+    }
+
+    let state = Mutex::new(Exchange {
+        summaries: vec![None; n_chips],
+        caps,
+        arrived: 0,
+        window: 0,
+        peak_window_power_w: 0.0,
+    });
+    let ready = Condvar::new();
+    let arbiter_cell = Mutex::new(arbiter);
+
+    // Contiguous deal: ceil(n/shards) chips per shard, so chip order is
+    // preserved within and across shards.
+    let chunk = n_chips.div_ceil(shards);
+    std::thread::scope(|scope| {
+        for shard_chips in chips.chunks_mut(chunk) {
+            let state = &state;
+            let ready = &ready;
+            let arbiter_cell = &arbiter_cell;
+            scope.spawn(move || {
+                for window in 0..n_windows {
+                    let win_epochs = (epochs - window * period).min(period);
+                    for chip in shard_chips.iter_mut() {
+                        // Per-chip wall clock covers stepping only; the
+                        // rendezvous wait below is the shard's overhead.
+                        let t0 = Instant::now();
+                        for _ in 0..win_epochs {
+                            chip.step_epoch();
+                        }
+                        chip.add_wall(t0.elapsed().as_secs_f64());
+                    }
+                    // Rendezvous: deposit, and let the last arriver run
+                    // the exchange.
+                    let mut st = state.lock().expect("exchange mutex poisoned");
+                    for chip in shard_chips.iter_mut() {
+                        st.summaries[chip.index()] = Some(chip.publish());
+                    }
+                    st.arrived += shard_chips.len();
+                    if st.arrived == n_chips {
+                        let summaries: Vec<ChipSummary> = st
+                            .summaries
+                            .iter_mut()
+                            .map(|slot| slot.take().expect("summary slot empty"))
+                            .collect();
+                        // Chip-order reduction: the window's cluster power
+                        // is the sum of per-chip window means.
+                        let window_power: f64 = summaries.iter().map(|s| s.avg_power_w).sum();
+                        if window_power > st.peak_window_power_w {
+                            st.peak_window_power_w = window_power;
+                        }
+                        if window + 1 < n_windows {
+                            let mut arb = arbiter_cell.lock().expect("arbiter mutex poisoned");
+                            st.caps = arb.rebudget(&summaries);
+                        }
+                        st.arrived = 0;
+                        st.window += 1;
+                        ready.notify_all();
+                    } else {
+                        while st.window <= window {
+                            st = ready.wait(st).expect("exchange condvar poisoned");
+                        }
+                    }
+                    // Install the fresh caps before the next window.
+                    if window + 1 < n_windows {
+                        for chip in shard_chips.iter_mut() {
+                            chip.set_power_cap(st.caps[chip.index()]);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let st = state.into_inner().expect("exchange mutex poisoned");
+    let arb = arbiter_cell.into_inner().expect("arbiter mutex poisoned");
+    ShardOutcome {
+        exchanges: arb.exchanges(),
+        rebudget_moves: arb.rebudget_moves(),
+        peak_window_power_w: st.peak_window_power_w,
+    }
+}

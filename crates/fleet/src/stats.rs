@@ -1,6 +1,33 @@
-//! Per-core and fleet-aggregate run statistics.
+//! Per-core, fleet-aggregate, and cluster-aggregate run statistics.
 
+use mimo_core::digest::Fnv1a;
 use serde::Serialize;
+
+use crate::arbiter::BudgetArbiter;
+use crate::config::FleetConfig;
+
+/// One chip's published window summary — the only state that crosses the
+/// chip boundary at an epoch exchange.
+///
+/// `Copy` on purpose: a shard hands the cluster arbiter a snapshot, never
+/// a reference into live chip state, so the exchange cannot observe a chip
+/// mid-epoch and determinism cannot leak through aliasing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ChipSummary {
+    /// Chip index within the cluster.
+    pub chip: usize,
+    /// Cores on the chip.
+    pub n_cores: usize,
+    /// Epochs covered by this window (usually the exchange period; the
+    /// final window may be shorter).
+    pub window_epochs: u64,
+    /// Mean measured chip power over the window, watts.
+    pub avg_power_w: f64,
+    /// Mean aggregate chip IPS over the window, BIPS.
+    pub avg_ips: f64,
+    /// Cores currently latched in quarantine.
+    pub quarantined_cores: usize,
+}
 
 /// One core's accumulated statistics.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -112,24 +139,202 @@ impl FleetStats {
     /// existed, and fault-free runs must keep reproducing them bit for
     /// bit. `PartialEq` does compare those fields.
     pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        };
-        mix(self.n_cores as u64);
-        mix(self.epochs as u64);
-        mix(self.cap_violation_epochs);
-        mix(self.avg_chip_power_w.to_bits());
-        mix(self.peak_chip_power_w.to_bits());
-        mix(self.energy_j.to_bits());
-        mix(self.instructions_g.to_bits());
+        let mut h = Fnv1a::new();
+        h.write_u64(self.n_cores as u64);
+        h.write_u64(self.epochs as u64);
+        h.write_u64(self.cap_violation_epochs);
+        h.write_f64(self.avg_chip_power_w);
+        h.write_f64(self.peak_chip_power_w);
+        h.write_f64(self.energy_j);
+        h.write_f64(self.instructions_g);
         for c in &self.per_core {
-            mix(c.avg_ips_err_pct.to_bits());
-            mix(c.avg_power_err_pct.to_bits());
-            mix(c.energy_j.to_bits());
+            h.write_f64(c.avg_ips_err_pct);
+            h.write_f64(c.avg_power_err_pct);
+            h.write_f64(c.energy_j);
         }
-        h
+        h.finish()
+    }
+
+    /// Assembles whole-fleet statistics from the drained per-core stats and
+    /// the arbiter's chip-level accumulators.
+    ///
+    /// This is the *single* assembly path — the worker-pool runner and the
+    /// cluster's per-chip drain both call it, so a chip's `FleetStats` is
+    /// bitwise the same arithmetic as a single-chip fleet's.
+    pub(crate) fn assemble(
+        cfg: &FleetConfig,
+        workers: usize,
+        epochs: usize,
+        arbiter: &BudgetArbiter,
+        per_core: Vec<CoreStats>,
+        wall_s: f64,
+    ) -> FleetStats {
+        let nf = per_core.len().max(1) as f64;
+        FleetStats {
+            n_cores: cfg.n_cores,
+            workers,
+            epochs,
+            policy: cfg.policy.label().to_string(),
+            chip_cap_w: cfg.chip_power_cap_w,
+            cap_violation_epochs: arbiter.violations(),
+            cap_violation_pct: if epochs == 0 {
+                0.0
+            } else {
+                100.0 * arbiter.violations() as f64 / epochs as f64
+            },
+            avg_chip_power_w: arbiter.avg_chip_power_w(),
+            peak_chip_power_w: arbiter.peak_chip_power_w(),
+            agg_ips_err_pct: per_core.iter().map(|c| c.avg_ips_err_pct).sum::<f64>() / nf,
+            agg_power_err_pct: per_core.iter().map(|c| c.avg_power_err_pct).sum::<f64>() / nf,
+            energy_j: per_core.iter().map(|c| c.energy_j).sum(),
+            instructions_g: per_core.iter().map(|c| c.instructions_g).sum(),
+            quarantined_cores: per_core.iter().filter(|c| c.quarantined).count(),
+            fault_epochs: per_core.iter().map(|c| c.fault_epochs).sum(),
+            throttle_events: arbiter.throttle_events(),
+            wall_s,
+            epochs_per_sec: if wall_s > 0.0 {
+                epochs as f64 / wall_s
+            } else {
+                0.0
+            },
+            per_core,
+        }
+    }
+}
+
+/// Whole-cluster statistics for one hierarchical run.
+///
+/// As with [`FleetStats`], everything except the shard count and the
+/// wall-clock fields is a pure function of the configuration and seeds —
+/// bit-identical at any shard count — and `PartialEq` compares only those
+/// deterministic fields.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterStats {
+    /// Chips in the cluster.
+    pub n_chips: usize,
+    /// Total cores across all chips.
+    pub total_cores: usize,
+    /// Shard (worker-thread) count used. Not deterministic-relevant.
+    pub shards: usize,
+    /// Chip epochs each chip ran.
+    pub epochs: usize,
+    /// Chip epochs between cluster budget exchanges.
+    pub exchange_period: usize,
+    /// Budget exchanges the cluster arbiter performed.
+    pub exchanges: u64,
+    /// Exchanges that actually moved at least one chip cap.
+    pub rebudget_moves: u64,
+    /// Datacenter-level power cap, watts.
+    pub cluster_cap_w: f64,
+    /// Sum of per-chip mean powers (chip order), watts.
+    pub avg_cluster_power_w: f64,
+    /// Largest window-mean cluster power seen at any exchange, watts.
+    pub peak_window_power_w: f64,
+    /// Mean of the per-chip aggregate IPS tracking errors, percent.
+    pub agg_ips_err_pct: f64,
+    /// Mean of the per-chip aggregate power tracking errors, percent.
+    pub agg_power_err_pct: f64,
+    /// Total cluster energy, joules.
+    pub energy_j: f64,
+    /// Total instructions, billions.
+    pub instructions_g: f64,
+    /// Cores quarantined anywhere in the cluster.
+    pub quarantined_cores: usize,
+    /// Faulted epochs summed across every core of every chip.
+    pub fault_epochs: u64,
+    /// Wall-clock duration of the cluster run, seconds (not deterministic).
+    pub wall_s: f64,
+    /// Cluster chip-epochs per second of wall clock (not deterministic).
+    pub epochs_per_sec: f64,
+    /// Per-chip breakdown, in chip order.
+    pub per_chip: Vec<FleetStats>,
+}
+
+impl PartialEq for ClusterStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything but shards / wall_s / epochs_per_sec (and, inside each
+        // chip, FleetStats' own non-deterministic fields).
+        self.n_chips == other.n_chips
+            && self.total_cores == other.total_cores
+            && self.epochs == other.epochs
+            && self.exchange_period == other.exchange_period
+            && self.exchanges == other.exchanges
+            && self.rebudget_moves == other.rebudget_moves
+            && self.cluster_cap_w == other.cluster_cap_w
+            && self.avg_cluster_power_w == other.avg_cluster_power_w
+            && self.peak_window_power_w == other.peak_window_power_w
+            && self.agg_ips_err_pct == other.agg_ips_err_pct
+            && self.agg_power_err_pct == other.agg_power_err_pct
+            && self.energy_j == other.energy_j
+            && self.instructions_g == other.instructions_g
+            && self.quarantined_cores == other.quarantined_cores
+            && self.fault_epochs == other.fault_epochs
+            && self.per_chip == other.per_chip
+    }
+}
+
+impl ClusterStats {
+    /// Order-independent digest of the deterministic cluster fields plus
+    /// every chip's own [`FleetStats::digest`], for compact shard-count
+    /// invariance checks in CSV output.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.n_chips as u64);
+        h.write_u64(self.total_cores as u64);
+        h.write_u64(self.epochs as u64);
+        h.write_u64(self.exchange_period as u64);
+        h.write_u64(self.exchanges);
+        h.write_u64(self.rebudget_moves);
+        h.write_f64(self.avg_cluster_power_w);
+        h.write_f64(self.peak_window_power_w);
+        h.write_f64(self.energy_j);
+        h.write_f64(self.instructions_g);
+        for chip in &self.per_chip {
+            h.write_u64(chip.digest());
+        }
+        h.finish()
+    }
+
+    /// Assembles cluster statistics from the drained per-chip stats (in
+    /// chip order) and the exchange bookkeeping.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        cluster_cap_w: f64,
+        shards: usize,
+        epochs: usize,
+        exchange_period: usize,
+        exchanges: u64,
+        rebudget_moves: u64,
+        peak_window_power_w: f64,
+        per_chip: Vec<FleetStats>,
+        wall_s: f64,
+    ) -> ClusterStats {
+        let nc = per_chip.len().max(1) as f64;
+        ClusterStats {
+            n_chips: per_chip.len(),
+            total_cores: per_chip.iter().map(|c| c.n_cores).sum(),
+            shards,
+            epochs,
+            exchange_period,
+            exchanges,
+            rebudget_moves,
+            cluster_cap_w,
+            avg_cluster_power_w: per_chip.iter().map(|c| c.avg_chip_power_w).sum(),
+            peak_window_power_w,
+            agg_ips_err_pct: per_chip.iter().map(|c| c.agg_ips_err_pct).sum::<f64>() / nc,
+            agg_power_err_pct: per_chip.iter().map(|c| c.agg_power_err_pct).sum::<f64>() / nc,
+            energy_j: per_chip.iter().map(|c| c.energy_j).sum(),
+            instructions_g: per_chip.iter().map(|c| c.instructions_g).sum(),
+            quarantined_cores: per_chip.iter().map(|c| c.quarantined_cores).sum(),
+            fault_epochs: per_chip.iter().map(|c| c.fault_epochs).sum(),
+            wall_s,
+            epochs_per_sec: if wall_s > 0.0 {
+                (epochs * per_chip.len()) as f64 / wall_s
+            } else {
+                0.0
+            },
+            per_chip,
+        }
     }
 }
 
@@ -220,5 +425,49 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"per_core\":[{"), "{json}");
         assert!(json.contains("\"app\":\"astar\""), "{json}");
+    }
+
+    fn cluster_sample() -> ClusterStats {
+        ClusterStats::assemble(9.6, 2, 10, 5, 2, 1, 4.1, vec![sample(), sample()], 0.25)
+    }
+
+    #[test]
+    fn cluster_equality_ignores_shards_and_timing() {
+        let a = cluster_sample();
+        let mut b = cluster_sample();
+        b.shards = 8;
+        b.wall_s = 99.0;
+        b.epochs_per_sec = 1.0;
+        b.per_chip[0].workers = 7;
+        b.per_chip[0].wall_s = 3.0;
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        let mut c = cluster_sample();
+        c.per_chip[1].energy_j += 1e-9;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cluster_assemble_sums_in_chip_order() {
+        let s = cluster_sample();
+        assert_eq!(s.n_chips, 2);
+        assert_eq!(s.total_cores, 4);
+        assert_eq!(s.avg_cluster_power_w, 4.0);
+        assert_eq!(s.energy_j, 0.002);
+        assert_eq!(s.agg_ips_err_pct, 8.0);
+        let mut h = Fnv1a::new();
+        h.write_u64(2);
+        h.write_u64(4);
+        h.write_u64(10);
+        h.write_u64(5);
+        h.write_u64(2);
+        h.write_u64(1);
+        h.write_f64(4.0);
+        h.write_f64(4.1);
+        h.write_f64(0.002);
+        h.write_f64(0.04);
+        h.write_u64(sample().digest());
+        h.write_u64(sample().digest());
+        assert_eq!(s.digest(), h.finish());
     }
 }

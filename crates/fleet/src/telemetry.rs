@@ -154,6 +154,55 @@ impl FleetTelemetry {
     }
 }
 
+/// Whole-cluster telemetry: one drained [`FleetTelemetry`] per chip, in
+/// chip order, plus the cluster-wide merged metrics. Returned by
+/// `ClusterRunner::run_traced`; empty when the config leaves telemetry off.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterTelemetry {
+    /// Every chip's metrics merged in chip order (shard-count independent).
+    pub metrics: Metrics,
+    /// Per-chip telemetry, indexed by chip.
+    pub per_chip: Vec<FleetTelemetry>,
+}
+
+impl ClusterTelemetry {
+    /// Merges per-chip telemetry into the cluster view, in chip order.
+    pub fn from_chips(per_chip: Vec<FleetTelemetry>) -> Self {
+        let mut metrics = Metrics::new();
+        for chip in &per_chip {
+            metrics.merge(&chip.metrics);
+        }
+        ClusterTelemetry { metrics, per_chip }
+    }
+
+    /// Whether any chip produced telemetry (false for untraced runs).
+    pub fn is_enabled(&self) -> bool {
+        self.per_chip.iter().any(FleetTelemetry::is_enabled)
+    }
+
+    /// Writes every chip's trace as JSON Lines, separated by a
+    /// `"chip_end"` marker line carrying the chip index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for (chip, tele) in self.per_chip.iter().enumerate() {
+            tele.write_jsonl(w)?;
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "{{\"type\":\"chip_end\",\"chip\":{chip},\"cores\":{},\"epochs\":{}}}",
+                tele.per_core.len(),
+                tele.metrics.epochs
+            );
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +267,20 @@ mod tests {
              \"quarantined\":true,\"trace_len\":2,\
              \"injected_faults\":{\"nan_measurement\":4}}"
         );
+    }
+
+    #[test]
+    fn cluster_telemetry_merges_chips_in_order() {
+        let chip0 = FleetTelemetry::from_cores(vec![core_tele(0, 3)]);
+        let chip1 = FleetTelemetry::from_cores(vec![core_tele(0, 5), core_tele(1, 2)]);
+        let cluster = ClusterTelemetry::from_chips(vec![chip0, chip1]);
+        assert!(cluster.is_enabled());
+        assert_eq!(cluster.metrics.epochs, 10);
+        let mut out = Vec::new();
+        cluster.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("{\"type\":\"chip_end\",\"chip\":0,\"cores\":1,\"epochs\":3}"));
+        assert!(text.contains("{\"type\":\"chip_end\",\"chip\":1,\"cores\":2,\"epochs\":7}"));
+        assert!(!ClusterTelemetry::default().is_enabled());
     }
 }

@@ -31,6 +31,11 @@ pub enum SimError {
         /// Index of the offending input channel.
         channel: usize,
     },
+    /// A shared-LLC contention configuration was unusable.
+    BadLlcConfig {
+        /// Description of the invalid setting.
+        what: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -48,6 +53,9 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
             SimError::NonFiniteActuation { channel } => {
                 write!(f, "actuation channel {channel} is NaN or infinite")
+            }
+            SimError::BadLlcConfig { what } => {
+                write!(f, "invalid shared-LLC configuration: {what}")
             }
         }
     }

@@ -44,6 +44,7 @@ pub mod cache;
 pub mod config;
 pub mod corem;
 pub mod fault;
+pub mod llc;
 pub mod power;
 pub mod processor;
 pub mod workload;
@@ -53,6 +54,7 @@ mod error;
 pub use config::{ActuatorGrid, InputSet, PlantConfig};
 pub use error::SimError;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FAULT_KIND_COUNT};
+pub use llc::{LlcConfig, SharedLlc};
 pub use processor::{Observation, Plant, Processor, ProcessorBuilder};
 
 /// Convenient result alias for simulator operations.

@@ -298,6 +298,11 @@ pub struct Processor {
     phase_changed: bool,
     totals: RunTotals,
     last: Option<Observation>,
+    /// Shared-LLC miss-pressure multiplier installed by the chip runtime
+    /// (see `mimo_sim::llc`). `1.0` — the default, and the value outside
+    /// contention — multiplies the miss-traffic jitter bit-transparently,
+    /// so plants without a contention model are unaffected.
+    llc_penalty: f64,
 }
 
 /// Fraction of the gap to the target phase closed per epoch.
@@ -320,6 +325,7 @@ impl Processor {
             phase_changed: false,
             totals: RunTotals::default(),
             last: None,
+            llc_penalty: 1.0,
             builder,
             profile,
         }
@@ -348,6 +354,28 @@ impl Processor {
     /// The most recent observation, if any epoch has run.
     pub fn last_observation(&self) -> Option<Observation> {
         self.last
+    }
+
+    /// The shared-LLC miss-pressure multiplier currently applied.
+    pub fn llc_penalty(&self) -> f64 {
+        self.llc_penalty
+    }
+
+    /// Installs the shared-LLC miss-pressure multiplier for subsequent
+    /// epochs. The chip runtime calls this at the retarget beat with the
+    /// value `mimo_sim::llc::SharedLlc` computed from the whole chip's way
+    /// allocations; `1.0` restores the uncontended plant bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or sub-unity multiplier — contention can
+    /// only add miss pressure.
+    pub fn set_llc_penalty(&mut self, penalty: f64) {
+        assert!(
+            penalty.is_finite() && penalty >= 1.0,
+            "llc penalty {penalty} must be finite and >= 1"
+        );
+        self.llc_penalty = penalty;
     }
 
     /// Runs one epoch with an explicit configuration (used by profiling and
@@ -382,6 +410,9 @@ impl Processor {
         if self.rng.gen::<f64>() < 0.01 {
             jitter *= 1.5; // interrupt / page-fault burst
         }
+        // Shared-LLC contention raises effective miss traffic; at the
+        // default 1.0 this multiply is bit-transparent (x * 1.0 == x).
+        jitter *= self.llc_penalty;
         let breakdown = corem::cpi(&self.eff, &self.config, &self.cache, jitter);
         let ipc = breakdown.ipc();
         let exec_us = (EPOCH_US - cost.stall_us).max(0.0);
@@ -528,6 +559,33 @@ mod tests {
             ProcessorBuilder::new().app("crysis").build(),
             Err(SimError::UnknownApp { .. })
         ));
+    }
+
+    #[test]
+    fn llc_penalty_raises_misses_and_default_is_transparent() {
+        let run = |penalty: f64| {
+            let mut p = quiet("mcf", 11); // memory-bound: misses dominate
+            p.set_llc_penalty(penalty);
+            let u = Vector::from_slice(&[1.3, 6.0, 48.0]);
+            (0..50).map(|_| p.apply(&u)[0]).sum::<f64>()
+        };
+        let base = run(1.0);
+        // Installing the neutral penalty is bit-identical to never touching
+        // the plant (x * 1.0 == x).
+        let untouched = {
+            let mut p = quiet("mcf", 11);
+            let u = Vector::from_slice(&[1.3, 6.0, 48.0]);
+            (0..50).map(|_| p.apply(&u)[0]).sum::<f64>()
+        };
+        assert_eq!(base.to_bits(), untouched.to_bits());
+        // Contention pressure lowers performance.
+        assert!(run(1.3) < base);
+    }
+
+    #[test]
+    #[should_panic(expected = "llc penalty")]
+    fn llc_penalty_below_one_rejected() {
+        quiet("mcf", 1).set_llc_penalty(0.5);
     }
 
     #[test]

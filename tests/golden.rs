@@ -18,14 +18,11 @@ use mimo_arch::fleet::{ArbitrationPolicy, FleetConfig, FleetRunner};
 use mimo_arch::linalg::Vector;
 use mimo_arch::sim::InputSet;
 
-/// Order-dependent digest of f64 bit patterns.
+/// Order-dependent digest of f64 bit patterns — the shared workspace
+/// reduction (`mimo_core::digest`), which is itself part of the pin: if
+/// the helper's mix ever drifted, every golden below would move.
 fn bits(values: &[f64]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for v in values {
-        h ^= v.to_bits();
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    mimo_arch::core::digest::digest_f64(values)
 }
 
 /// One shared MIMO design (seed 2, two-input) for every golden below —
@@ -128,6 +125,33 @@ fn golden_fleet_digest() {
         .unwrap();
     assert_eq!(stats.digest(), 0x19add60c38adeb17);
     let per_core: Vec<f64> = stats
+        .per_core
+        .iter()
+        .flat_map(|c| [c.avg_ips_err_pct, c.avg_power_err_pct, c.energy_j])
+        .collect();
+    assert_eq!(bits(&per_core), 0x12d0dc98e60d37d6);
+}
+
+#[test]
+fn golden_one_chip_cluster_reproduces_the_fleet_digest() {
+    // The two-level hierarchy must be invisible when it degenerates to a
+    // single chip: same seed, same epochs, same policy → the chip's
+    // FleetStats digest is the exact single-chip golden above, even though
+    // a cluster arbiter re-granted the chip's cap at every exchange.
+    use mimo_arch::fleet::{ClusterConfig, ClusterRunner};
+    let cfg = ClusterConfig::new(1, 4)
+        .epochs(150)
+        .exchange_period(25)
+        .policy(ArbitrationPolicy::Proportional)
+        .chip_policy(ArbitrationPolicy::Proportional)
+        .seed(7);
+    let stats = ClusterRunner::with_shared_controller(cfg, controller())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(stats.n_chips, 1);
+    assert_eq!(stats.per_chip[0].digest(), 0x19add60c38adeb17);
+    let per_core: Vec<f64> = stats.per_chip[0]
         .per_core
         .iter()
         .flat_map(|c| [c.avg_ips_err_pct, c.avg_power_err_pct, c.energy_j])
