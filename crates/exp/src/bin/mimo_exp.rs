@@ -1,31 +1,39 @@
-//! `mimo-exp` — the unified experiment CLI.
+//! `mimo-exp` — the unified experiment CLI over declarative scenario specs.
 //!
-//! One binary replaces the old per-figure executables: every paper
-//! artifact is a subcommand, and the sizing/output knobs are shared flags.
+//! The primary entry point is `run <spec.toml>`: every experiment the
+//! harness can perform is described by a checked-in spec under `specs/`,
+//! and the per-figure subcommands (`fig06`, …) are thin aliases resolving
+//! to compile-time copies of those same files — one code path, one config
+//! surface, byte-identical CSVs either way.
 //!
 //! ```text
-//! mimo-exp [SUBCOMMAND] [--epochs N] [--jobs N] [--out DIR] [--timing] [--trace PATH]
+//! mimo-exp run <spec.toml> [FLAGS]     execute a scenario spec
+//! mimo-exp validate <path>...          check specs without running them
+//! mimo-exp schema                      print the spec key reference
+//! mimo-exp [SUBCOMMAND] [FLAGS]        alias / suite / bench
 //! ```
 //!
-//! With no subcommand the full suite runs (the old `all` binary). Grid
-//! cells fan out across `--jobs` workers; output is bit-identical at any
-//! job count, so `--jobs` only changes wall-clock.
+//! With no subcommand the full suite runs. Grid cells fan out across
+//! `--jobs` workers; output is bit-identical at any job count, so
+//! `--jobs` only changes wall-clock.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use mimo_core::optimizer::Metric;
-use mimo_core::telemetry::TelemetryConfig;
-use mimo_exp::experiments::{self, ExpConfig};
+use mimo_exp::experiments::ExpConfig;
 use mimo_exp::par;
 use mimo_exp::report::ResultsDir;
+use mimo_exp::spec::{self, RunOverrides};
 use mimo_exp::timing::TimingSink;
-use mimo_sim::InputSet;
 
 const USAGE: &str = "\
-mimo-exp — reproduce the paper's evaluation (figures, tables, fleet runs)
+mimo-exp — reproduce the paper's evaluation from declarative scenario specs
 
 USAGE:
+    mimo-exp run <spec.toml> [FLAGS]     execute a scenario spec
+    mimo-exp validate <path>...          check spec files (or directories)
+    mimo-exp schema                      print the spec key reference
     mimo-exp [SUBCOMMAND] [FLAGS]
 
 SUBCOMMANDS:
@@ -42,12 +50,18 @@ SUBCOMMANDS:
     cluster-scale  chips × cores-per-chip under one datacenter budget,
                  sharded chip-parallel with shared-LLC contention
     fault-sweep  fault rate × arbitration policy on a 16-core fleet
+    phase-step   spec-only scenario: stepped power/QoE reference schedule
+    cluster-fault  spec-only scenario: mid-run chip fault on a cluster
     bench        time the LQG step and a 16-core fleet sweep on the
                  dynamic and static storage paths; writes
                  BENCH_controller.json to the results directory
 
+    Every non-bench subcommand is an alias for `run` on the embedded copy
+    of the matching specs/<name>.toml file.
+
 FLAGS:
-    --epochs N    epochs per tracking run (default: paper-scale 4000)
+    --epochs N    epochs per tracking run (default: each spec's own count;
+                  paper-scale 4000 for the figure aliases)
     --jobs N      worker threads for experiment grid cells (default: the
                   host's available parallelism, or the MIMO_JOBS env var;
                   N >= 1 — results are bit-identical at any job count)
@@ -55,20 +69,18 @@ FLAGS:
     --timing      record per-subcommand and per-cell wall-clock into
                   BENCH_harness.json in the results directory (for
                   cluster-scale this includes per-chip stepping time)
-    --shards N    cluster-scale only: pin the shard count instead of
-                  sweeping {1, 2, 4, 8}; the CSV is byte-identical at any
-                  value (the CI determinism job diffs them)
+    --shards N    cluster specs only: pin the shard count; the CSV is
+                  byte-identical at any value (CI diffs them)
     --trace PATH  fault-sweep only: write a JSONL epoch trace of the
                   sweep's most eventful run (per-core ring-buffer sinks)
     -h, --help    print this help
 ";
 
-/// Ring capacity per core when `--trace` is on: enough to keep every
-/// epoch of a CI-sized sweep and the recent tail of a full one.
-const TRACE_CAPACITY: usize = 256;
-
 struct Cli {
     command: String,
+    /// Positional arguments after the subcommand (`run` takes one spec
+    /// path, `validate` one or more).
+    paths: Vec<String>,
     epochs: Option<usize>,
     jobs: Option<usize>,
     out: Option<String>,
@@ -77,9 +89,16 @@ struct Cli {
     trace: Option<String>,
 }
 
+/// Subcommands that resolve to an embedded spec, i.e. everything except
+/// `run`/`validate`/`schema`/`all`/`bench`.
+fn is_alias(cmd: &str) -> bool {
+    spec::embedded::by_alias(cmd).is_some()
+}
+
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         command: String::from("all"),
+        paths: Vec::new(),
         epochs: None,
         jobs: None,
         out: None,
@@ -130,32 +149,38 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 saw_command = true;
                 cli.command = cmd.to_string();
             }
+            path if matches!(cli.command.as_str(), "run" | "validate") => {
+                cli.paths.push(path.to_string());
+            }
             extra => return Err(format!("unexpected argument {extra:?}")),
         }
     }
-    let known = [
-        "all",
-        "fig06",
-        "fig07",
-        "fig08",
-        "fig09",
-        "fig10",
-        "fig11",
-        "fig12",
-        "tab-opt",
-        "fleet-scale",
-        "cluster-scale",
-        "fault-sweep",
-        "bench",
-    ];
-    if !known.contains(&cli.command.as_str()) {
+    let known = ["all", "run", "validate", "schema", "bench"];
+    if !known.contains(&cli.command.as_str()) && !is_alias(&cli.command) {
         return Err(format!("unknown subcommand {:?}", cli.command));
     }
-    if cli.trace.is_some() && cli.command != "fault-sweep" {
-        return Err("--trace is only meaningful with the fault-sweep subcommand".into());
+    match cli.command.as_str() {
+        "run" if cli.paths.len() != 1 => {
+            return Err("run takes exactly one spec path".into());
+        }
+        "validate" if cli.paths.is_empty() => {
+            return Err("validate takes at least one spec file or directory".into());
+        }
+        _ => {}
     }
-    if cli.shards.is_some() && cli.command != "cluster-scale" {
-        return Err("--shards is only meaningful with the cluster-scale subcommand".into());
+    let trace_ok = matches!(cli.command.as_str(), "fault-sweep" | "run");
+    if cli.trace.is_some() && !trace_ok {
+        return Err("--trace is only meaningful with fault-sweep (or run on its spec)".into());
+    }
+    let shards_ok = matches!(
+        cli.command.as_str(),
+        "cluster-scale" | "cluster-fault" | "run"
+    );
+    if cli.shards.is_some() && !shards_ok {
+        return Err(
+            "--shards is only meaningful with cluster specs (cluster-scale, cluster-fault, or run)"
+                .into(),
+        );
     }
     Ok(cli)
 }
@@ -173,6 +198,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Spec-introspection subcommands need no runtime config.
+    match cli.command.as_str() {
+        "schema" => {
+            print!("{}", spec::SCHEMA_TEXT);
+            return ExitCode::SUCCESS;
+        }
+        "validate" => return run_validate(&cli.paths),
+        _ => {}
+    }
+
     let jobs = match par::resolve_jobs(cli.jobs) {
         Ok(n) => n,
         Err(msg) => {
@@ -193,13 +229,37 @@ fn main() -> ExitCode {
     if let Some(n) = cli.epochs {
         cfg.tracking_epochs = n;
     }
+    let overrides = RunOverrides {
+        epochs: cli.epochs,
+        shards: cli.shards,
+        trace: cli.trace.clone(),
+    };
 
     let start = Instant::now();
     let failures = match cli.command.as_str() {
-        "all" => run_all(&cfg),
-        name => {
-            let r = cfg.timing.subcommand(name, || run_one(&cfg, name, &cli));
-            collect_failure(name, r)
+        "all" => run_all(&cfg, cli.epochs),
+        "bench" => {
+            let r = cfg.timing.subcommand("bench", || run_bench(&cfg));
+            collect_failure("bench", r)
+        }
+        "run" => {
+            let path = PathBuf::from(&cli.paths[0]);
+            match spec::load(&path) {
+                Ok(s) => {
+                    let name = s.name.clone();
+                    let r = cfg
+                        .timing
+                        .subcommand(&name, || spec::run_spec(&cfg, &s, &overrides));
+                    collect_failure(&name, r)
+                }
+                Err(msg) => vec![("run".to_string(), msg)],
+            }
+        }
+        alias => {
+            let r = cfg
+                .timing
+                .subcommand(alias, || run_alias(&cfg, alias, &overrides));
+            collect_failure(alias, r)
         }
     };
     let wall_s = start.elapsed().as_secs_f64();
@@ -231,23 +291,66 @@ fn main() -> ExitCode {
     }
 }
 
-/// Runs one non-`all` subcommand; errors bubble up instead of panicking so
-/// a failing grid cell reports which cell died.
-fn run_one(cfg: &ExpConfig, name: &str, cli: &Cli) -> Result<(), String> {
-    match name {
-        "fig06" => experiments::fig06(cfg).map(drop).map_err(|e| e.to_string()),
-        "fig07" => experiments::fig07(cfg).map(drop).map_err(|e| e.to_string()),
-        "fig08" => experiments::fig08(cfg).map(drop).map_err(|e| e.to_string()),
-        "fig09" => run_fig09(cfg),
-        "fig10" => run_fig10(cfg),
-        "fig11" => experiments::fig11(cfg).map(drop).map_err(|e| e.to_string()),
-        "fig12" => experiments::fig12(cfg).map(drop).map_err(|e| e.to_string()),
-        "tab-opt" => run_tab_opt(cfg),
-        "fleet-scale" => run_fleet_scale(cfg),
-        "cluster-scale" => run_cluster_scale(cfg, cli.shards),
-        "fault-sweep" => run_fault_sweep(cfg, cli.trace.as_deref()),
-        "bench" => run_bench(cfg),
-        _ => unreachable!("parse_args validated the subcommand"),
+/// Resolves a subcommand alias to its embedded spec and runs it. The
+/// embedded copies are pinned byte-identical to the `specs/` files by
+/// test, so this is exactly `mimo-exp run specs/<name>.toml`.
+fn run_alias(cfg: &ExpConfig, alias: &str, ov: &RunOverrides) -> Result<(), String> {
+    let embedded = spec::embedded::by_alias(alias)
+        .ok_or_else(|| format!("no embedded spec for alias {alias:?}"))?;
+    let s = spec::parse_str(embedded.text)
+        .map_err(|e| format!("embedded {} is invalid: {e}", embedded.path))?;
+    spec::run_spec(cfg, &s, ov)
+}
+
+/// `mimo-exp validate <path>...`: parses, validates, and lowers every
+/// named spec (recursing one level into directories for `*.toml`) without
+/// running anything. Prints one line per spec; any failure exits non-zero.
+fn run_validate(paths: &[String]) -> ExitCode {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        let path = Path::new(p);
+        if path.is_dir() {
+            let mut in_dir: Vec<PathBuf> = match std::fs::read_dir(path) {
+                Ok(entries) => entries
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("error: {}: cannot read directory: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            if in_dir.is_empty() {
+                eprintln!("error: {}: no .toml specs found", path.display());
+                return ExitCode::FAILURE;
+            }
+            in_dir.sort();
+            files.extend(in_dir);
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    let mut ok = true;
+    for file in &files {
+        let outcome = spec::load(file).and_then(|s| {
+            spec::check(&s)
+                .map(|()| s)
+                .map_err(|e| spec::format_error(file, &e))
+        });
+        match outcome {
+            Ok(s) => println!("{}: ok ({} {})", file.display(), s.scenario.kind(), s.name),
+            Err(msg) => {
+                ok = false;
+                eprintln!("error: {msg}");
+            }
+        }
+    }
+    if ok {
+        println!("{} spec(s) valid", files.len());
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -258,121 +361,49 @@ fn collect_failure(name: &str, r: Result<(), String>) -> Vec<(String, String)> {
     }
 }
 
-/// One `all` step: CLI name, heading, and runner.
-type Step = (
-    &'static str,
-    &'static str,
-    fn(&ExpConfig) -> Result<(), String>,
-);
-
-/// The complete evaluation suite (the old `all` binary). A failing
-/// subcommand is reported and the rest of the suite still runs, so one
-/// bad cell costs one figure, not the whole evaluation.
-fn run_all(cfg: &ExpConfig) -> Vec<(String, String)> {
+/// The complete evaluation suite: every embedded spec in the historical
+/// figure order, then the two spec-only scenarios. A failing step is
+/// reported and the rest of the suite still runs, so one bad cell costs
+/// one figure, not the whole evaluation.
+fn run_all(cfg: &ExpConfig, epochs: Option<usize>) -> Vec<(String, String)> {
     let mut failures = Vec::new();
-    let steps: &[Step] = &[
-        ("fig06", "Figure 6 — weight sensitivity", |c| {
-            experiments::fig06(c).map(drop).map_err(|e| e.to_string())
-        }),
-        ("fig07", "Figure 7 — model dimension", |c| {
-            experiments::fig07(c).map(drop).map_err(|e| e.to_string())
-        }),
-        ("fig08", "Figure 8 — uncertainty guardbands", |c| {
-            experiments::fig08(c).map(drop).map_err(|e| e.to_string())
-        }),
-        ("fig11", "Figure 11 — tracking multiple references", |c| {
-            experiments::fig11(c).map(drop).map_err(|e| e.to_string())
-        }),
-        ("fig12", "Figure 12 — time-varying tracking", |c| {
-            experiments::fig12(c).map(drop).map_err(|e| e.to_string())
-        }),
-        ("fig09", "Figure 9 — E×D, 2 inputs", |c| run_fig09(c)),
-        ("fig10", "Figure 10 — E×D, 3 inputs", |c| run_fig10(c)),
-        ("tab-opt", "§VIII-F — E and E×D²", |c| run_tab_opt(c)),
+    let steps: &[(&str, &str)] = &[
+        ("fig06", "Figure 6 — weight sensitivity"),
+        ("fig07", "Figure 7 — model dimension"),
+        ("fig08", "Figure 8 — uncertainty guardbands"),
+        ("fig11", "Figure 11 — tracking multiple references"),
+        ("fig12", "Figure 12 — time-varying tracking"),
+        ("fig09", "Figure 9 — E×D, 2 inputs"),
+        ("fig10", "Figure 10 — E×D, 3 inputs"),
+        ("tab-opt", "§VIII-F — E and E×D²"),
         (
             "fleet-scale",
             "Fleet scaling — chip-budgeted many-core runtime",
-            |c| run_fleet_scale(c),
         ),
         (
             "cluster-scale",
             "Cluster scaling — hierarchical multi-chip runtime",
-            |c| run_cluster_scale(c, None),
         ),
+        (
+            "phase-step",
+            "Scenario — stepped reference schedule (spec-only)",
+        ),
+        ("cluster-fault", "Scenario — mid-run chip fault (spec-only)"),
     ];
-    for (name, title, step) in steps {
+    let ov = RunOverrides {
+        epochs,
+        shards: None,
+        trace: None,
+    };
+    for (name, title) in steps {
         println!("### {title}");
-        if let Err(msg) = cfg.timing.subcommand(name, || step(cfg)) {
+        if let Err(msg) = cfg.timing.subcommand(name, || run_alias(cfg, name, &ov)) {
             eprintln!("error: {name} failed: {msg} (continuing)");
             failures.push((name.to_string(), msg));
         }
     }
     println!("done; CSVs in {}", cfg.results.path().display());
     failures
-}
-
-fn run_fig09(cfg: &ExpConfig) -> Result<(), String> {
-    let r = experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::EnergyDelay)
-        .map_err(|e| e.to_string())?;
-    println!("paper: MIMO -16%, Heuristic -4%, Decoupled +3% | measured: MIMO {:+.1}%, Heuristic {:+.1}%, Decoupled {:+.1}%",
-        (r.avg_mimo - 1.0) * 100.0, (r.avg_heuristic - 1.0) * 100.0,
-        (r.avg_decoupled.unwrap_or(f64::NAN) - 1.0) * 100.0);
-    Ok(())
-}
-
-fn run_fig10(cfg: &ExpConfig) -> Result<(), String> {
-    let r = experiments::optimization_experiment(cfg, InputSet::FreqCacheRob, Metric::EnergyDelay)
-        .map_err(|e| e.to_string())?;
-    println!(
-        "paper: MIMO -25%, Heuristic -12% | measured: MIMO {:+.1}%, Heuristic {:+.1}%",
-        (r.avg_mimo - 1.0) * 100.0,
-        (r.avg_heuristic - 1.0) * 100.0
-    );
-    Ok(())
-}
-
-fn run_tab_opt(cfg: &ExpConfig) -> Result<(), String> {
-    let e = experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::Energy)
-        .map_err(|e| e.to_string())?;
-    let ed2 =
-        experiments::optimization_experiment(cfg, InputSet::FreqCache, Metric::EnergyDelaySquared)
-            .map_err(|e| e.to_string())?;
-    let dec = |r: &experiments::OptResult| (r.avg_decoupled.unwrap_or(f64::NAN) - 1.0) * 100.0;
-    println!("E    — paper: MIMO -9%, Heuristic -1%, Decoupled 0% | measured: {:+.1}% / {:+.1}% / {:+.1}%",
-        (e.avg_mimo-1.0)*100.0, (e.avg_heuristic-1.0)*100.0, dec(&e));
-    println!("E×D² — paper: MIMO -18%, Heuristic -7%, Decoupled -4% | measured: {:+.1}% / {:+.1}% / {:+.1}%",
-        (ed2.avg_mimo-1.0)*100.0, (ed2.avg_heuristic-1.0)*100.0, dec(&ed2));
-    Ok(())
-}
-
-fn run_fleet_scale(cfg: &ExpConfig) -> Result<(), String> {
-    let points = experiments::fleet_scale(cfg).map_err(|e| e.to_string())?;
-    for pair in points.chunks(2) {
-        if !pair.iter().all(|p| p.digest == pair[0].digest) {
-            return Err(format!(
-                "worker count changed results at N={}",
-                pair[0].stats.n_cores
-            ));
-        }
-    }
-    println!("done; {}", cfg.results.join("fleet_scale.csv").display());
-    Ok(())
-}
-
-fn run_cluster_scale(cfg: &ExpConfig, shards: Option<usize>) -> Result<(), String> {
-    let points = experiments::cluster_scale(cfg, shards).map_err(|e| e.to_string())?;
-    for p in &points {
-        if !p.digests.iter().all(|&(_, d)| d == p.digests[0].1) {
-            return Err(format!(
-                "shard count changed results at {} chips x {} cores: {:?}",
-                p.stats.n_chips,
-                p.stats.total_cores / p.stats.n_chips.max(1),
-                p.digests
-            ));
-        }
-    }
-    println!("done; {}", cfg.results.join("cluster_scale.csv").display());
-    Ok(())
 }
 
 fn run_bench(cfg: &ExpConfig) -> Result<(), String> {
@@ -395,36 +426,5 @@ fn run_bench(cfg: &ExpConfig) -> Result<(), String> {
         .write_text("BENCH_controller.json", &doc)
         .map_err(|e| format!("write BENCH_controller.json: {e}"))?;
     println!("wrote {}", path.display());
-    Ok(())
-}
-
-fn run_fault_sweep(cfg: &ExpConfig, trace: Option<&str>) -> Result<(), String> {
-    let telemetry = trace.map(|_| TelemetryConfig::trace(TRACE_CAPACITY));
-    let (points, tele) =
-        experiments::fault_sweep_traced(cfg, telemetry).map_err(|e| e.to_string())?;
-    for p in &points {
-        if p.fault_rate == 0.0 {
-            if p.stats.fault_epochs != 0 {
-                return Err(format!("zero-rate run faulted ({})", p.stats.policy));
-            }
-            if p.stats.quarantined_cores != 0 {
-                return Err(format!(
-                    "zero-rate run quarantined cores ({})",
-                    p.stats.policy
-                ));
-            }
-        }
-    }
-    if let Some(path) = trace {
-        let tele = tele.ok_or("--trace enabled telemetry but the sweep returned none")?;
-        tele.save_jsonl(path)
-            .map_err(|e| format!("write JSONL trace: {e}"))?;
-        println!(
-            "wrote {path} ({} cores, {} quarantines)",
-            tele.per_core.len(),
-            tele.quarantines().len()
-        );
-    }
-    println!("done; {}", cfg.results.join("fault_sweep.csv").display());
     Ok(())
 }

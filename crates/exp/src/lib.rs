@@ -5,35 +5,47 @@
 //! the four architectures of Table IV (Baseline, Heuristic, Decoupled,
 //! MIMO).
 //!
-//! One binary — the `mimo-exp` CLI — reproduces every paper artifact as a
-//! subcommand, writing a CSV next to a printed summary:
+//! One binary — the `mimo-exp` CLI — reproduces every paper artifact from
+//! a declarative scenario spec. `mimo-exp run <spec.toml>` is the primary
+//! entry point; one spec per experiment is checked in under `specs/`, and
+//! the per-figure subcommands are thin aliases over compile-time copies of
+//! those files (pinned byte-identical by test), so either route produces
+//! the same bytes:
 //!
-//! | subcommand    | paper artifact | what it reports |
-//! |---------------|----------------|-----------------|
-//! | `fig06`       | Figure 6 + Table V | weight-choice sensitivity on `namd` |
-//! | `fig07`       | Figure 7 | max model error vs state dimension |
-//! | `fig08`       | Figure 8 | convergence epochs, high vs low guardbands |
-//! | `fig09`       | Figure 9 | E×D vs Baseline, 2 inputs, per app |
-//! | `fig10`       | Figure 10 | E×D vs Baseline, 3 inputs, per app |
-//! | `fig11`       | Figure 11 | tracking-error scatter, responsive / non-responsive |
-//! | `fig12`       | Figure 12 | time-varying (QoE/battery) tracking traces |
-//! | `tab-opt`     | §VIII-F text | E and E×D² reductions |
-//! | `fleet-scale` | §VII discussion | fleet sizes × worker counts under one budget |
-//! | `fault-sweep` | §VII discussion | fault rate × policy on a 16-core fleet |
-//! | `all`         | everything | runs the full suite (the default) |
+//! | subcommand    | spec | paper artifact |
+//! |---------------|------|----------------|
+//! | `fig06`       | `specs/fig06.toml` | Figure 6 + Table V: weight-choice sensitivity |
+//! | `fig07`       | `specs/fig07.toml` | Figure 7: max model error vs state dimension |
+//! | `fig08`       | `specs/fig08.toml` | Figure 8: convergence epochs vs guardbands |
+//! | `fig09`       | `specs/fig09.toml` | Figure 9: E×D vs Baseline, 2 inputs |
+//! | `fig10`       | `specs/fig10.toml` | Figure 10: E×D vs Baseline, 3 inputs |
+//! | `fig11`       | `specs/fig11.toml` | Figure 11: tracking-error scatter |
+//! | `fig12`       | `specs/fig12.toml` | Figure 12: time-varying (QoE/battery) tracking |
+//! | `tab-opt`     | `specs/tab_opt.toml` | §VIII-F text: E and E×D² reductions |
+//! | `fleet-scale` | `specs/fleet_scale.toml` | fleet sizes × worker counts under one budget |
+//! | `cluster-scale` | `specs/cluster_scale.toml` | chips × cores under one datacenter budget |
+//! | `fault-sweep` | `specs/fault_sweep.toml` | fault rate × policy on a 16-core fleet |
+//! | `phase-step`  | `specs/phase_step.toml` | spec-only: stepped reference schedule |
+//! | `cluster-fault` | `specs/cluster_fault.toml` | spec-only: mid-run chip fault + quarantine |
+//! | `all`         | every spec above | runs the full suite (the default) |
+//!
+//! `mimo-exp validate <path>...` checks specs without running them;
+//! `mimo-exp schema` prints the key reference. Malformed specs exit
+//! non-zero naming the offending file, line, and key.
 //!
 //! Shared flags: `--epochs N` resizes tracking runs, `--out DIR` redirects
 //! the CSVs, `--jobs N` (or `MIMO_JOBS`) sets the grid worker count —
 //! results are bit-identical at any value — `--timing` writes
-//! `BENCH_harness.json`, and `--trace PATH` (fault-sweep only) writes a
-//! JSONL epoch trace drained from per-core telemetry sinks.
+//! `BENCH_harness.json`, `--shards N` pins a cluster spec's shard count,
+//! and `--trace PATH` (fault-sweep only) writes a JSONL epoch trace
+//! drained from per-core telemetry sinks.
 //!
 //! The library half holds the pieces the CLI shares with integration
-//! tests: controller construction ([`setup`]), the memoized design cache
-//! ([`cache`]), the deterministic parallel grid ([`par`]), the epoch-loop
-//! drivers and metrics ([`runner`]), the battery/QoE reference schedule
-//! ([`qoe`]), wall-clock instrumentation ([`timing`]), and CSV / table
-//! output ([`report`]).
+//! tests: the scenario spec layer ([`spec`]), controller construction
+//! ([`setup`]), the memoized design cache ([`cache`]), the deterministic
+//! parallel grid ([`par`]), the epoch-loop drivers and metrics
+//! ([`runner`]), the battery/QoE reference schedule ([`qoe`]), wall-clock
+//! instrumentation ([`timing`]), and CSV / table output ([`report`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +58,7 @@ pub mod qoe;
 pub mod report;
 pub mod runner;
 pub mod setup;
+pub mod spec;
 pub mod timing;
 
 /// The fixed tracking targets of §VII-B1. The paper uses 2.5 BIPS / 2 W,

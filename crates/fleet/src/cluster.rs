@@ -66,6 +66,22 @@ pub struct ClusterConfig {
     /// Shared-LLC contention coupling, applied per chip (each chip gets
     /// its own independent [`SharedLlc`](mimo_sim::SharedLlc)).
     pub llc: Option<LlcConfig>,
+    /// Workload mix every chip cycles through for its cores (same
+    /// semantics as [`FleetConfig::apps`]; empty = responsive production
+    /// set). Per-core seeds still derive from each chip's own seed, so
+    /// chips run the same mix on distinct random streams.
+    pub apps: Vec<String>,
+    /// Explicit per-core assignments, applied to **every** chip verbatim
+    /// (same semantics as [`FleetConfig::cores`] within a chip). Note an
+    /// explicit [`CoreSpec::seed`] repeats on each chip; leave `cores`
+    /// empty and use [`ClusterConfig::apps`] when chips should run
+    /// distinct random streams.
+    pub cores: Vec<CoreSpec>,
+    /// Per-epoch transient fault probability on every core of every chip
+    /// (same semantics as [`FleetConfig::fault_rate`]; each chip's
+    /// injector draws from its own chip-seeded stream). `0.0` (the
+    /// default) keeps runs bit-identical to a fault-free cluster.
+    pub fault_rate: f64,
     /// Scheduled faults, as `(chip, core, fault window)` triples. Chips
     /// and cores not listed receive no scheduled faults.
     pub core_faults: Vec<(usize, usize, FaultSpec)>,
@@ -95,6 +111,9 @@ impl ClusterConfig {
             base_targets: [3.0, 1.9],
             seed: 1,
             llc: None,
+            apps: Vec::new(),
+            cores: Vec::new(),
+            fault_rate: 0.0,
             core_faults: Vec::new(),
             telemetry: TelemetryConfig::off(),
         }
@@ -118,10 +137,19 @@ impl ClusterConfig {
         self
     }
 
-    /// Sets the cluster power cap (builder style).
-    pub fn cluster_power_cap(mut self, watts: f64) -> Self {
+    /// Sets the power cap this topology's arbiter divides — for a
+    /// cluster, the datacenter-level cap in watts (builder style). Shares
+    /// its name with [`FleetConfig::power_cap`], the same knob one level
+    /// down, so one spec shape drives both.
+    pub fn power_cap(mut self, watts: f64) -> Self {
         self.cluster_power_cap_w = watts;
         self
+    }
+
+    /// Alias of [`ClusterConfig::power_cap`] under the topology-specific
+    /// name (builder style).
+    pub fn cluster_power_cap(self, watts: f64) -> Self {
+        self.power_cap(watts)
     }
 
     /// Sets the cluster-level arbitration policy (builder style).
@@ -160,11 +188,40 @@ impl ClusterConfig {
         self
     }
 
+    /// Sets the workload mix for every chip (builder style). Same name
+    /// and semantics as [`FleetConfig::apps`].
+    pub fn apps<S: Into<String>>(mut self, apps: Vec<S>) -> Self {
+        self.apps = apps.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the transient fault rate on every chip (builder style). Same
+    /// name and semantics as [`FleetConfig::fault_rate`].
+    pub fn fault_rate(mut self, rate: f64) -> Self {
+        self.fault_rate = rate;
+        self
+    }
+
+    /// Sets explicit per-core assignments applied to every chip (builder
+    /// style). Same name and semantics as [`FleetConfig::cores`].
+    pub fn cores(mut self, cores: Vec<CoreSpec>) -> Self {
+        self.cores = cores;
+        self
+    }
+
     /// Schedules a fault on one core of one chip (builder style; may be
-    /// called repeatedly to stack faults).
-    pub fn chip_core_fault(mut self, chip: usize, core: usize, spec: FaultSpec) -> Self {
+    /// called repeatedly to stack faults). Same verb as
+    /// [`FleetConfig::core_fault`], with a leading chip index because the
+    /// cluster addresses cores two levels deep.
+    pub fn core_fault(mut self, chip: usize, core: usize, spec: FaultSpec) -> Self {
         self.core_faults.push((chip, core, spec));
         self
+    }
+
+    /// Alias of [`ClusterConfig::core_fault`] under its original name
+    /// (builder style).
+    pub fn chip_core_fault(self, chip: usize, core: usize, spec: FaultSpec) -> Self {
+        self.core_fault(chip, core, spec)
     }
 
     /// Attaches per-core telemetry to every chip (builder style).
@@ -255,6 +312,9 @@ impl ClusterConfig {
             .input_set(self.input_set)
             .base_targets(self.base_targets)
             .seed(self.chip_seed(chip))
+            .apps(self.apps.clone())
+            .cores(self.cores.clone())
+            .fault_rate(self.fault_rate)
             .observer(self.telemetry.clone());
         cfg.llc = self.llc;
         for &(c, core, spec) in &self.core_faults {
@@ -269,6 +329,41 @@ impl ClusterConfig {
     /// pinned at the chip arbiter's own minimum power reference.
     pub fn chip_floor_w(&self) -> f64 {
         self.cores_per_chip as f64 * MIN_TARGET_FRACTION * self.base_targets[1]
+    }
+}
+
+/// The single-chip lift: a one-chip cluster running the fleet's exact
+/// configuration, so one spec shape drives both topologies.
+///
+/// Every shared knob carries over verbatim — core count, epochs, input
+/// set, targets, seed (chip 0 reuses the base seed, so per-core seeds are
+/// identical), policy (installed as the chip-level policy), workload mix,
+/// explicit cores, fault plan (lifted to chip 0), transient rate, LLC,
+/// and telemetry. The fleet's power cap becomes the cluster cap; with one
+/// chip the cluster arbiter grants `min(cap, nominal)` clamped to the
+/// floor at each exchange, so caps at or below the nominal 1.2 W/core
+/// budget behave exactly as they did one level down. The fleet's
+/// `workers` knob has no counterpart (a one-chip cluster is one shard);
+/// shard the chip's cores via the fleet runner when intra-chip
+/// parallelism matters.
+impl From<FleetConfig> for ClusterConfig {
+    fn from(fleet: FleetConfig) -> Self {
+        let mut cfg = ClusterConfig::new(1, fleet.n_cores)
+            .epochs(fleet.epochs)
+            .power_cap(fleet.chip_power_cap_w)
+            .chip_policy(fleet.policy)
+            .input_set(fleet.input_set)
+            .base_targets(fleet.base_targets)
+            .seed(fleet.seed)
+            .apps(fleet.apps)
+            .cores(fleet.cores)
+            .fault_rate(fleet.fault_rate)
+            .observer(fleet.telemetry);
+        cfg.llc = fleet.llc;
+        for (core, spec) in fleet.core_faults {
+            cfg = cfg.core_fault(0, core, spec);
+        }
+        cfg
     }
 }
 
@@ -474,6 +569,55 @@ mod tests {
             assert_eq!(base, other, "shards = {shards}");
             assert_eq!(base.digest(), other.digest(), "shards = {shards}");
         }
+    }
+
+    #[test]
+    fn fleet_config_lifts_to_a_one_chip_cluster() {
+        use mimo_sim::fault::{FaultKind, FaultSpec};
+        let spec = FaultSpec {
+            kind: FaultKind::NanMeasurement { channel: 0 },
+            start_epoch: 10,
+            duration: 5,
+        };
+        let fleet = FleetConfig::new(4)
+            .epochs(150)
+            .seed(7)
+            .power_cap(4.0)
+            .policy(ArbitrationPolicy::Uniform)
+            .apps(vec!["astar"])
+            .fault_rate(0.01)
+            .core_fault(2, spec);
+        let cluster = ClusterConfig::from(fleet.clone());
+        assert_eq!(cluster.n_chips, 1);
+        assert_eq!(cluster.cores_per_chip, 4);
+        assert_eq!(cluster.cluster_power_cap_w, 4.0);
+        assert_eq!(cluster.chip_policy, ArbitrationPolicy::Uniform);
+        assert_eq!(cluster.fault_rate, 0.01);
+        assert_eq!(cluster.core_faults, vec![(0, 2, spec)]);
+        cluster.validate().unwrap();
+        // The lifted chip reproduces the fleet's own config, knob for
+        // knob, apart from the worker count (sharding lives one level
+        // up) and the power cap (which lifts to the cluster arbiter;
+        // the chip keeps its nominal budget and the arbiter grants
+        // `min(cap, nominal)` at each exchange).
+        let chip0 = cluster.chip_config(0);
+        let nominal_cap = chip0.chip_power_cap_w;
+        assert_eq!(chip0, fleet.clone().workers(1).power_cap(nominal_cap));
+    }
+
+    #[test]
+    fn lifted_cluster_reproduces_the_fleet_run_bit_for_bit() {
+        let fleet = FleetConfig::new(4).workers(2).epochs(150).seed(7);
+        let fstats = FleetRunner::new(fleet.clone(), |_, _| fixed())
+            .unwrap()
+            .run()
+            .unwrap();
+        let cstats = ClusterRunner::new(ClusterConfig::from(fleet), |_, _, _| fixed())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(cstats.per_chip[0], fstats);
+        assert_eq!(cstats.per_chip[0].digest(), fstats.digest());
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct FleetConfig {
     /// Scheduled faults, as `(core index, fault window)` pairs. Cores not
     /// listed receive no scheduled faults.
     pub core_faults: Vec<(usize, FaultSpec)>,
+    /// Workload mix: applications the fleet cycles through round-robin
+    /// for cores without an explicit [`CoreSpec`]. Empty (the default)
+    /// means the responsive production set ([`default_fleet_apps`]). Seeds
+    /// and priorities still derive per core, so changing only the mix
+    /// keeps every other knob identical.
+    pub apps: Vec<String>,
     /// Per-core telemetry: when enabled, every core carries its own
     /// [`TelemetrySink`](mimo_core::telemetry::TelemetrySink) and the run
     /// returns a populated [`FleetTelemetry`](crate::FleetTelemetry).
@@ -85,6 +91,7 @@ impl FleetConfig {
             base_targets: [3.0, 1.9],
             seed: 1,
             cores: Vec::new(),
+            apps: Vec::new(),
             fault_rate: 0.0,
             core_faults: Vec::new(),
             telemetry: TelemetryConfig::off(),
@@ -110,10 +117,19 @@ impl FleetConfig {
         self
     }
 
-    /// Sets the chip power cap (builder style).
-    pub fn chip_power_cap(mut self, watts: f64) -> Self {
+    /// Sets the power cap this topology's arbiter divides — for a fleet,
+    /// the chip-level cap in watts (builder style). Shares its name with
+    /// [`ClusterConfig::power_cap`](crate::ClusterConfig::power_cap), the
+    /// same knob one level up, so one spec shape drives both.
+    pub fn power_cap(mut self, watts: f64) -> Self {
         self.chip_power_cap_w = watts;
         self
+    }
+
+    /// Alias of [`FleetConfig::power_cap`] under the topology-specific
+    /// name (builder style).
+    pub fn chip_power_cap(self, watts: f64) -> Self {
+        self.power_cap(watts)
     }
 
     /// Sets the input set every per-core controller actuates (builder
@@ -133,6 +149,15 @@ impl FleetConfig {
     /// `n_cores` are ignored; missing cores draw defaults.
     pub fn cores(mut self, cores: Vec<CoreSpec>) -> Self {
         self.cores = cores;
+        self
+    }
+
+    /// Sets the workload mix (builder style): cores without an explicit
+    /// [`CoreSpec`] cycle through `apps` round-robin instead of the
+    /// default responsive production set. Same name and semantics as
+    /// [`ClusterConfig::apps`](crate::ClusterConfig::apps).
+    pub fn apps<S: Into<String>>(mut self, apps: Vec<S>) -> Self {
+        self.apps = apps.into_iter().map(Into::into).collect();
         self
     }
 
@@ -164,7 +189,9 @@ impl FleetConfig {
     }
 
     /// Schedules a fault on one core (builder style; may be called
-    /// repeatedly to stack faults).
+    /// repeatedly to stack faults). The cluster-level counterpart is
+    /// [`ClusterConfig::core_fault`](crate::ClusterConfig::core_fault),
+    /// which takes an extra leading chip index.
     pub fn core_fault(mut self, core: usize, spec: FaultSpec) -> Self {
         self.core_faults.push((core, spec));
         self
@@ -234,6 +261,12 @@ impl FleetConfig {
                 ),
             });
         }
+        let catalog = catalog_names();
+        if let Some(app) = self.apps.iter().find(|a| !catalog.contains(&a.as_str())) {
+            return Err(FleetError::InvalidConfig {
+                what: format!("apps names unknown workload {app:?} (see the catalog)"),
+            });
+        }
         if let Some(llc) = &self.llc {
             llc.validate(self.n_cores)?;
         }
@@ -252,11 +285,16 @@ impl FleetConfig {
     }
 
     /// Resolves the full per-core spec list: explicit entries first, then
-    /// responsive production applications round-robin (the cores that can
-    /// actually chase the aggressive IPS target), each with a seed derived
-    /// from the base seed and the core index only.
+    /// the workload mix (the [`FleetConfig::apps`] list, or responsive
+    /// production applications — the cores that can actually chase the
+    /// aggressive IPS target) round-robin, each with a seed derived from
+    /// the base seed and the core index only.
     pub fn core_specs(&self) -> Vec<CoreSpec> {
-        let default_apps = default_fleet_apps();
+        let default_apps: Vec<String> = if self.apps.is_empty() {
+            default_fleet_apps().iter().map(|s| s.to_string()).collect()
+        } else {
+            self.apps.clone()
+        };
         (0..self.n_cores)
             .map(|i| {
                 self.cores.get(i).cloned().unwrap_or_else(|| CoreSpec {
@@ -384,6 +422,46 @@ mod tests {
         };
         assert!(FleetConfig::new(2).core_fault(1, spec).validate().is_ok());
         assert!(FleetConfig::new(2).core_fault(5, spec).validate().is_err());
+    }
+
+    #[test]
+    fn apps_mix_drives_default_cores_round_robin() {
+        let cfg = FleetConfig::new(5).apps(vec!["astar", "milc"]);
+        cfg.validate().unwrap();
+        let specs = cfg.core_specs();
+        let apps: Vec<&str> = specs.iter().map(|s| s.app.as_str()).collect();
+        assert_eq!(apps, ["astar", "milc", "astar", "milc", "astar"]);
+        // Seeds keep the default derivation: only the mix changed.
+        let default_seeds: Vec<u64> = FleetConfig::new(5)
+            .core_specs()
+            .iter()
+            .map(|s| s.seed)
+            .collect();
+        assert!(specs.iter().zip(&default_seeds).all(|(s, &d)| s.seed == d));
+        // Explicit cores still win over the mix.
+        let cfg = cfg.cores(vec![CoreSpec {
+            app: "mcf".into(),
+            seed: 7,
+            priority: 1.0,
+        }]);
+        assert_eq!(cfg.core_specs()[0].app, "mcf");
+    }
+
+    #[test]
+    fn unknown_app_in_mix_is_rejected() {
+        let err = FleetConfig::new(2)
+            .apps(vec!["astar", "no-such-app"])
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("no-such-app"), "{err}");
+    }
+
+    #[test]
+    fn power_cap_and_chip_power_cap_are_the_same_knob() {
+        let a = FleetConfig::new(4).power_cap(3.3);
+        let b = FleetConfig::new(4).chip_power_cap(3.3);
+        assert_eq!(a, b);
+        assert_eq!(a.chip_power_cap_w, 3.3);
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! JSON string directly (`to_json`), instead of going through upstream
 //! serde's `Serializer` visitor machinery; the `derive` feature provides
 //! `#[derive(Serialize, Deserialize)]` for structs with named fields (see
-//! the sibling `serde_derive` stub). [`Deserialize`] is a marker trait —
-//! nothing in the workspace parses serialized records back.
+//! the sibling `serde_derive` stub). [`Deserialize`] itself stays a marker
+//! trait; actual deserialization goes through the [`de`] module — a
+//! line-spanned [`de::Value`] tree plus the [`de::FromValue`] extraction
+//! trait — which format front ends (the TOML reader in `mimo-exp`)
+//! populate and typed configs (`RunSpec`) extract themselves from, with
+//! key-path + source-line errors ([`de::DeError`]).
 //!
 //! Record types that derive [`Serialize`] here (e.g. `WeightSet`,
 //! `FleetStats`) keep the same derive attribute they would use with real
@@ -15,6 +19,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod de;
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
