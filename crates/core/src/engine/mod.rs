@@ -210,7 +210,51 @@ impl<G: Governor, P: Plant, O: Observer> EpochLoop<G, P, O> {
     pub fn step(&mut self) -> StepOutcome {
         let epoch = self.epoch;
         self.epoch += 1;
-        match self.try_epoch() {
+        let result = self.try_epoch();
+        self.settle(epoch, result)
+    }
+
+    /// Runs one epoch whose governor decision was computed *externally* —
+    /// the batched bank path. The caller (a governor bank in `mimo-fleet`
+    /// stepping many cores at once) passes either the decided actuation
+    /// in physical units or the
+    /// [`EpochCause`] its screening produced; this method then runs the
+    /// same screen → apply → screen tail and the same fault/quarantine
+    /// bookkeeping as [`EpochLoop::step`], so outcomes, buffers, health
+    /// latches, and telemetry are bit-identical to the per-cell path when
+    /// the external decision matches what the owned governor would have
+    /// decided.
+    ///
+    /// Note the owned governor is **not** consulted — the caller is
+    /// responsible for keeping any governor state consistent (the bank
+    /// owns the controller runtime wholesale while a core is enrolled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `Ok` decision's length differs from the plant's input
+    /// count.
+    pub fn step_decided(
+        &mut self,
+        decision: std::result::Result<&[f64], EpochCause>,
+    ) -> StepOutcome {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let result = match decision {
+            Ok(u) => {
+                self.u.as_mut_slice().copy_from_slice(u);
+                self.apply_decided()
+            }
+            Err(cause) => Err(cause),
+        };
+        self.settle(epoch, result)
+    }
+
+    /// The shared epilogue of [`EpochLoop::step`] / [`EpochLoop::step_decided`]:
+    /// turns the epoch result into a [`StepOutcome`], maintaining the
+    /// last-good buffers, failure streaks, the quarantine latch, and
+    /// telemetry.
+    fn settle(&mut self, epoch: u64, result: std::result::Result<(), EpochCause>) -> StepOutcome {
+        match result {
             Ok(()) => {
                 self.consecutive_faults = 0;
                 self.y_good.copy_from(&self.y);
@@ -303,6 +347,14 @@ impl<G: Governor, P: Plant, O: Observer> EpochLoop<G, P, O> {
         self.gov
             .decide_into(&self.y, phase, &mut self.u)
             .map_err(EpochCause::Governor)?;
+        self.apply_decided()
+    }
+
+    /// The post-decision half of one epoch: screen the actuation, apply
+    /// it to the plant, screen the measurement. Shared between
+    /// [`EpochLoop::step`] (decision from the owned governor) and
+    /// [`EpochLoop::step_decided`] (decision from a bank).
+    fn apply_decided(&mut self) -> Result<(), EpochCause> {
         if let Some(channel) = self.u.iter().position(|v| !v.is_finite()) {
             return Err(EpochCause::NonFiniteActuation { channel });
         }
@@ -614,6 +666,63 @@ mod tests {
         let (u_hist, y_hist) = lp.into_histories();
         assert!(u_hist.iter().all(Vector::all_finite));
         assert!(y_hist.iter().all(Vector::all_finite));
+    }
+
+    #[test]
+    fn step_decided_matches_step_including_fault_machinery() {
+        // Two identical loops: one stepped normally, one via external
+        // decisions replicating what the FixedGovernor would decide.
+        // Outcomes, buffers, histories, and the quarantine latch must
+        // match epoch for epoch.
+        let mk = || {
+            let gov = FixedGovernor::new(Vector::from_slice(&[1.0, 4.0]));
+            let plant = NanWindow {
+                epochs: 0,
+                from: 2,
+                to: 2 + DEFAULT_QUARANTINE_THRESHOLD as usize,
+            };
+            let mut lp = EpochLoop::new(gov, plant);
+            lp.record_history(10);
+            lp
+        };
+        let mut solo = mk();
+        let mut banked = mk();
+        for _ in 0..10 {
+            let a = solo.step();
+            let b = banked.step_decided(Ok(&[1.0, 4.0]));
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            assert_eq!(solo.outputs(), banked.outputs());
+            assert_eq!(solo.last_input(), banked.last_input());
+            assert_eq!(solo.is_quarantined(), banked.is_quarantined());
+        }
+        assert_eq!(solo.fault_epochs(), banked.fault_epochs());
+        assert_eq!(solo.quarantine_epoch(), banked.quarantine_epoch());
+        assert_eq!(solo.into_histories(), banked.into_histories());
+    }
+
+    #[test]
+    fn step_decided_err_counts_as_faulted_epoch() {
+        let gov = FixedGovernor::new(Vector::from_slice(&[1.0, 4.0]));
+        let mut lp = EpochLoop::new(gov, Echo { epochs: 0 });
+        assert!(lp.step_decided(Ok(&[1.0, 4.0])).is_healthy());
+        let good = lp.outputs().clone();
+        match lp.step_decided(Err(EpochCause::NonFiniteActuation { channel: 1 })) {
+            StepOutcome::Degraded(e) => {
+                assert_eq!(e.cause, EpochCause::NonFiniteActuation { channel: 1 });
+                assert_eq!(e.epoch, 1);
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // Buffers restored; the plant never ran this epoch.
+        assert_eq!(lp.outputs(), &good);
+        assert_eq!(lp.fault_epochs(), 1);
+        // Non-finite actuation passed as Ok is still screened here.
+        match lp.step_decided(Ok(&[f64::NAN, 4.0])) {
+            StepOutcome::Degraded(e) => {
+                assert_eq!(e.cause, EpochCause::NonFiniteActuation { channel: 0 });
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! discrete actuator grid and the quantized value is fed back into the
 //! controller state (anti-windup against quantization).
 
+use mimo_linalg::lu::LuDecomposition;
 use mimo_linalg::{MatVecKernel, Matrix, VecKernel, Vector};
 use mimo_sysid::scale::ChannelScaler;
 
@@ -186,11 +187,13 @@ impl LqgDesign {
             KalmanFilter::design(&self.model, &self.process_noise, &self.measurement_noise)?;
 
         let rt = LqgRt::<S>::from_synthesis(&lqr.k, kalman.gain(), &self.model)?;
+        let ss_solver = SteadyStateSolver::new(&self);
         let mut ctrl = LqgController {
             closed_loop_radius: lqr.closed_loop_radius,
             kalman,
             rt,
             scratch: LqgScratch::new(n, i, o),
+            ss_solver,
             design: self,
         };
         // Initialize at a neutral reference (normalized zero = operating
@@ -216,6 +219,90 @@ impl LqgDesign {
     }
 }
 
+/// Precomputed artifacts of the steady-state resolve.
+///
+/// Everything in `LqgController::recompute_steady_state`'s ridge
+/// inversion except the reference itself is a pure function of the design:
+/// the weighted gain product `Gᵀ Q`, the LU factorization of the
+/// regularized Gram matrix, and the LU factorization of `I − A`. Caching
+/// them at synthesis turns the per-retarget work into one small
+/// matrix-vector product plus two triangular substitutions — the dominant
+/// cost of fleet retargeting drops by an order of magnitude, and because
+/// [`Matrix::solve`] is itself "factorize, then substitute", the cached
+/// path reproduces the original solve **bit for bit** (identical inputs,
+/// identical operation sequence).
+///
+/// Fallbacks mirror the uncached chain exactly: a failed DC gain or an
+/// unfactorizable Gram matrix leaves `u_ss` at zero, and an unfactorizable
+/// `I − A` leaves `x_ss` at zero.
+#[derive(Debug, Clone)]
+pub struct SteadyStateSolver {
+    nu: usize,
+    nx: usize,
+    /// `Gᵀ Q`; `None` when the DC gain itself failed.
+    gtq: Option<Matrix>,
+    /// LU of `Gᵀ Q G + λ I`; `None` when the DC gain or the factorization
+    /// failed.
+    lhs_lu: Option<LuDecomposition>,
+    /// LU of `I − A`; `None` when `I − A` is singular.
+    ia_lu: Option<LuDecomposition>,
+    /// Copy of the model's `B`, for the `x_ss` propagation.
+    b: Matrix,
+}
+
+impl SteadyStateSolver {
+    /// Precomputes the reference-independent artifacts from a design.
+    pub fn new(design: &LqgDesign) -> Self {
+        let i = design.model.num_inputs();
+        let n = design.model.state_dim();
+        let mut gtq_out = None;
+        let mut lhs_lu = None;
+        if let Ok(g) = design.model.dc_gain() {
+            let q = Matrix::diag(&design.output_weights);
+            let gtq = &g.transpose() * &q;
+            let gram = &gtq * &g;
+            let lambda = 0.05 * (gram.trace() / i as f64).max(1e-12);
+            let lhs = &gram + &Matrix::identity(i).scale(lambda);
+            lhs_lu = LuDecomposition::new(&lhs).ok();
+            gtq_out = Some(gtq);
+        }
+        let i_minus_a = Matrix::identity(n) - design.model.a();
+        SteadyStateSolver {
+            nu: i,
+            nx: n,
+            gtq: gtq_out,
+            lhs_lu,
+            ia_lu: LuDecomposition::new(&i_minus_a).ok(),
+            b: design.model.b().clone(),
+        }
+    }
+
+    /// Resolves the steady-state operating point for a normalized
+    /// reference, writing the clamped `u_ss` and implied `x_ss`.
+    /// Bit-identical to the uncached ridge solve (see the type docs).
+    pub fn resolve(&self, y_ref_norm: &[f64], u_ss_out: &mut [f64], x_ss_out: &mut [f64]) {
+        let y_ref = Vector::from_slice(y_ref_norm);
+        let u_ss = match (&self.gtq, &self.lhs_lu) {
+            (Some(gtq), Some(lu)) => {
+                let rhs = gtq * &y_ref.to_col_matrix();
+                lu.solve(&rhs).ok().map(Vector::from)
+            }
+            _ => None,
+        }
+        .unwrap_or_else(|| Vector::zeros(self.nu));
+        let u_ss = u_ss.map(|v| v.clamp(-U_CLAMP, U_CLAMP));
+        u_ss_out.copy_from_slice(u_ss.as_slice());
+        let x_ss = match &self.ia_lu {
+            Some(lu) => lu
+                .solve(&(&self.b * &u_ss.to_col_matrix()))
+                .map(Vector::from)
+                .unwrap_or_else(|_| Vector::zeros(self.nx)),
+            None => Vector::zeros(self.nx),
+        };
+        x_ss_out.copy_from_slice(x_ss.as_slice());
+    }
+}
+
 /// The synthesized MIMO LQG tracking controller.
 ///
 /// Call [`LqgController::set_reference`] with physical targets, then
@@ -231,6 +318,8 @@ pub struct LqgController<S: LqgStorage = DynStore> {
     rt: LqgRt<S>,
     /// Reusable temporaries so a steady-state epoch allocates nothing.
     scratch: LqgScratch<S>,
+    /// Cached steady-state solve artifacts (pure function of the design).
+    ss_solver: SteadyStateSolver,
 }
 
 /// The runtime half of the controller: everything the per-epoch hot path
@@ -406,6 +495,7 @@ impl<S: LqgStorage> LqgController<S> {
             kalman: self.kalman.clone(),
             rt: self.rt.convert()?,
             scratch: LqgScratch::new(n, i, o),
+            ss_solver: self.ss_solver.clone(),
         })
     }
 
@@ -471,36 +561,15 @@ impl<S: LqgStorage> LqgController<S> {
         // produces enormous opposite-signed feed-forward inputs that pin
         // the actuators at their clamps. The ridge biases u_ss toward the
         // operating midpoint; the integrator removes the residual offset.
-        // Runs only on reference changes, so the dynamic solve (and the
-        // `to_vector` copies at the storage boundary) never touch the
-        // per-epoch hot path.
-        let i = self.num_inputs();
-        let n = self.design.model.state_dim();
-        let y_ref = self.rt.y_ref_norm.to_vector();
-        let u_ss = self
-            .design
-            .model
-            .dc_gain()
-            .ok()
-            .and_then(|g| {
-                let q = Matrix::diag(&self.design.output_weights);
-                let gtq = &g.transpose() * &q;
-                let gram = &gtq * &g;
-                let lambda = 0.05 * (gram.trace() / i as f64).max(1e-12);
-                let lhs = &gram + &Matrix::identity(i).scale(lambda);
-                let rhs = &gtq * &y_ref.to_col_matrix();
-                lhs.solve(&rhs).ok().map(Vector::from)
-            })
-            .unwrap_or_else(|| Vector::zeros(i));
-        let u_ss = u_ss.map(|v| v.clamp(-U_CLAMP, U_CLAMP));
-        self.rt.u_ss.as_mut_slice().copy_from_slice(u_ss.as_slice());
-        // Propagate to the implied state.
-        let i_minus_a = Matrix::identity(n) - self.design.model.a();
-        let x_ss = i_minus_a
-            .solve(&(self.design.model.b() * &u_ss.to_col_matrix()))
-            .map(Vector::from)
-            .unwrap_or_else(|_| Vector::zeros(n));
-        self.rt.x_ss.as_mut_slice().copy_from_slice(x_ss.as_slice());
+        // The reference-independent half (Gᵀ Q and both LU factorizations)
+        // is cached in [`SteadyStateSolver`] at synthesis, so a retarget
+        // pays only the right-hand side and the substitutions — bit-
+        // identical to the full solve, an order of magnitude cheaper.
+        self.ss_solver.resolve(
+            self.rt.y_ref_norm.as_slice(),
+            self.rt.u_ss.as_mut_slice(),
+            self.rt.x_ss.as_mut_slice(),
+        );
     }
 
     /// One control epoch: consumes the physical measurement `y(t)` and
@@ -531,9 +600,6 @@ impl<S: LqgStorage> LqgController<S> {
             "measurement dimension mismatch"
         );
         assert_eq!(out.len(), self.num_inputs(), "actuation dimension mismatch");
-        let n = self.design.model.state_dim();
-        let i = self.design.model.num_inputs();
-        let o = self.design.model.num_outputs();
         let s = &mut self.scratch;
         let rt = &mut self.rt;
         self.design
@@ -554,73 +620,46 @@ impl<S: LqgStorage> LqgController<S> {
         );
 
         // Integrate the tracking error (leaky, with anti-windup clamp).
-        {
-            let q = rt.q_int.as_mut_slice();
-            let y = s.y_norm.as_slice();
-            let y_ref = rt.y_ref_norm.as_slice();
-            for c in 0..o {
-                let err = y[c] - y_ref[c];
-                q[c] = (q[c] * INTEGRATOR_LEAK + err).clamp(-Q_CLAMP, Q_CLAMP);
-            }
-        }
+        integrate_tracking_error(
+            rt.q_int.as_mut_slice(),
+            s.y_norm.as_slice(),
+            rt.y_ref_norm.as_slice(),
+        );
 
         // Δu = −F [x̃; ũ₋₁; q].
-        {
-            let z = s.z.as_mut_slice();
-            let xhat = rt.xhat.as_slice();
-            let x_ss = rt.x_ss.as_slice();
-            let u_prev = rt.u_prev.as_slice();
-            let u_ss = rt.u_ss.as_slice();
-            let q = rt.q_int.as_slice();
-            for k in 0..n {
-                z[k] = xhat[k] - x_ss[k];
-            }
-            for k in 0..i {
-                z[n + k] = u_prev[k] - u_ss[k];
-            }
-            for k in 0..o {
-                z[n + i + k] = q[k];
-            }
-        }
+        assemble_augmented_state(
+            s.z.as_mut_slice(),
+            rt.xhat.as_slice(),
+            rt.x_ss.as_slice(),
+            rt.u_prev.as_slice(),
+            rt.u_ss.as_slice(),
+            rt.q_int.as_slice(),
+        );
         rt.f.mat_vec_into(&s.z, &mut s.du);
-        for v in s.du.as_mut_slice() {
-            *v *= -1.0;
-        }
+        negate(s.du.as_mut_slice());
 
         // Apply, clamp, quantize, and slew-limit to one grid step per
         // epoch per input: ways are power-gated one at a time and DVFS
         // relocks per step, and single-step motion stops the controller
         // from reacting to its own transition stalls (§IV-B2's "smaller
         // steps ... more effective control").
-        {
-            let u_raw = s.u_raw.as_mut_slice();
-            let du = s.du.as_slice();
-            let u_prev = rt.u_prev.as_slice();
-            for k in 0..i {
-                u_raw[k] = (u_prev[k] + du[k]).clamp(-U_CLAMP, U_CLAMP);
-            }
-        }
+        apply_du_clamped(
+            s.u_raw.as_mut_slice(),
+            rt.u_prev.as_slice(),
+            s.du.as_slice(),
+        );
         self.design
             .input_scaler
             .denormalize_slices(s.u_raw.as_slice(), s.u_phys_raw.as_mut_slice());
         self.design
             .input_scaler
             .denormalize_slices(rt.u_prev.as_slice(), s.u_prev_phys.as_mut_slice());
-        let u_phys_raw = s.u_phys_raw.as_slice();
-        let u_prev_phys = s.u_prev_phys.as_slice();
-        for ch in 0..i {
-            let grid = &self.design.input_grids[ch];
-            let target = quantize_index(grid, u_phys_raw[ch]);
-            let current = quantize_index(grid, u_prev_phys[ch]);
-            let stepped = if target > current {
-                current + 1
-            } else if target < current {
-                current - 1
-            } else {
-                current
-            };
-            out[ch] = grid[stepped];
-        }
+        quantize_with_slew(
+            &self.design.input_grids,
+            s.u_phys_raw.as_slice(),
+            s.u_prev_phys.as_slice(),
+            out.as_mut_slice(),
+        );
         // Feed the *quantized* input back (anti-windup against rounding).
         self.design
             .input_scaler
@@ -642,6 +681,151 @@ impl<S: LqgStorage> LqgController<S> {
             .input_scaler
             .normalize_slices(u_physical.as_slice(), self.rt.u_prev.as_mut_slice());
     }
+
+    /// Borrowed views of the runtime gain and model matrices, in storage
+    /// `S`. The fleet's banked stepping path reads these once per bank so
+    /// every enrolled core shares the identical bit-exact copies.
+    pub fn runtime_matrices(&self) -> LqgMatrices<'_, S> {
+        LqgMatrices {
+            f: &self.rt.f,
+            l: &self.rt.l,
+            a: &self.rt.a,
+            b: &self.rt.b,
+            c: &self.rt.c,
+            d: &self.rt.d,
+        }
+    }
+
+    /// Snapshot of the evolving runtime state (estimate, held input,
+    /// integrator, normalized reference, steady-state operating point) in
+    /// dynamic vectors — every element a bit-exact copy.
+    pub fn export_state(&self) -> LqgState {
+        LqgState {
+            xhat: self.rt.xhat.to_vector(),
+            u_prev: self.rt.u_prev.to_vector(),
+            q_int: self.rt.q_int.to_vector(),
+            y_ref_norm: self.rt.y_ref_norm.to_vector(),
+            x_ss: self.rt.x_ss.to_vector(),
+            u_ss: self.rt.u_ss.to_vector(),
+        }
+    }
+
+    /// The cached steady-state solve artifacts this controller retargets
+    /// through.
+    pub fn steady_state_solver(&self) -> &SteadyStateSolver {
+        &self.ss_solver
+    }
+}
+
+/// Borrowed views of an [`LqgController`]'s runtime gain and model
+/// matrices (see [`LqgController::runtime_matrices`]).
+pub struct LqgMatrices<'a, S: LqgStorage> {
+    /// LQR gain `F` over `[x̃; ũ₋₁; q]`.
+    pub f: &'a S::GainF,
+    /// Kalman predictor gain `L`.
+    pub l: &'a S::GainL,
+    /// Model `A`.
+    pub a: &'a S::MatA,
+    /// Model `B`.
+    pub b: &'a S::MatB,
+    /// Model `C`.
+    pub c: &'a S::MatC,
+    /// Model `D`.
+    pub d: &'a S::MatD,
+}
+
+/// Snapshot of an [`LqgController`]'s evolving runtime state (see
+/// [`LqgController::export_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LqgState {
+    /// State estimate `x̂`.
+    pub xhat: Vector,
+    /// Previous (quantized, normalized) input.
+    pub u_prev: Vector,
+    /// Leaky error integrator.
+    pub q_int: Vector,
+    /// Normalized reference.
+    pub y_ref_norm: Vector,
+    /// Steady-state operating state for the current reference.
+    pub x_ss: Vector,
+    /// Steady-state operating input for the current reference.
+    pub u_ss: Vector,
+}
+
+// --- Slice-level pieces of the LQG epoch -------------------------------
+//
+// `step_into` is built from these free functions so the fleet's banked
+// (structure-of-arrays) stepping path can run the *same* scalar code per
+// core: one implementation, one floating-point operation order, bit parity
+// by construction.
+
+/// Leaky error integration with the anti-windup clamp:
+/// `q ← clamp(q·leak + (y − y_ref), ±Q_CLAMP)` per channel.
+pub fn integrate_tracking_error(q_int: &mut [f64], y_norm: &[f64], y_ref_norm: &[f64]) {
+    for c in 0..q_int.len() {
+        let err = y_norm[c] - y_ref_norm[c];
+        q_int[c] = (q_int[c] * INTEGRATOR_LEAK + err).clamp(-Q_CLAMP, Q_CLAMP);
+    }
+}
+
+/// Assembles the augmented state `z = [x̂ − x_ss; u₋₁ − u_ss; q]`.
+pub fn assemble_augmented_state(
+    z: &mut [f64],
+    xhat: &[f64],
+    x_ss: &[f64],
+    u_prev: &[f64],
+    u_ss: &[f64],
+    q_int: &[f64],
+) {
+    let n = xhat.len();
+    let i = u_prev.len();
+    for k in 0..n {
+        z[k] = xhat[k] - x_ss[k];
+    }
+    for k in 0..i {
+        z[n + k] = u_prev[k] - u_ss[k];
+    }
+    for (k, &q) in q_int.iter().enumerate() {
+        z[n + i + k] = q;
+    }
+}
+
+/// In-place sign flip (`v ← v · −1`), the `Δu = −F z` negation.
+pub fn negate(values: &mut [f64]) {
+    for v in values {
+        *v *= -1.0;
+    }
+}
+
+/// Candidate input: `u_raw = clamp(u_prev + Δu, ±U_CLAMP)` per channel.
+pub fn apply_du_clamped(u_raw: &mut [f64], u_prev: &[f64], du: &[f64]) {
+    for k in 0..u_raw.len() {
+        u_raw[k] = (u_prev[k] + du[k]).clamp(-U_CLAMP, U_CLAMP);
+    }
+}
+
+/// Grid quantization with the one-step-per-epoch slew limit: each channel
+/// moves at most one grid index from its current (quantized) position
+/// toward the nearest-to-candidate index.
+pub fn quantize_with_slew(
+    grids: &[Vec<f64>],
+    u_phys_raw: &[f64],
+    u_prev_phys: &[f64],
+    out: &mut [f64],
+) {
+    for ch in 0..out.len() {
+        let grid = &grids[ch];
+        let target = quantize_index(grid, u_phys_raw[ch]);
+        let current = quantize_index(grid, u_prev_phys[ch]);
+        let stepped = if target > current {
+            current + 1
+        } else if target < current {
+            current - 1
+        } else {
+            current
+        };
+        out[ch] = grid[stepped];
+    }
 }
 
 /// Nearest-value quantization to a sorted grid.
@@ -651,7 +835,7 @@ fn quantize_to(grid: &[f64], v: f64) -> f64 {
 }
 
 /// Index of the nearest grid value.
-fn quantize_index(grid: &[f64], v: f64) -> usize {
+pub fn quantize_index(grid: &[f64], v: f64) -> usize {
     debug_assert!(!grid.is_empty());
     let mut best = 0;
     let mut best_d = f64::INFINITY;

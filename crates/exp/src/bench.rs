@@ -125,6 +125,120 @@ pub fn run() -> Result<ControllerBench, String> {
     })
 }
 
+/// Fleet- and cluster-scale timings — banked structure-of-arrays stepping
+/// vs the per-cell boxed-governor path — ready for [`render_fleet_json`].
+///
+/// Both paths are bit-identical by construction (the parity suites prove
+/// it), so only the wall-clock ratio can legitimately move here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetBench {
+    /// Hardware threads on the measuring host; speedups from pool
+    /// parallelism are bounded by this (a 1-CPU host runs every band
+    /// serially, so any gain is pure bank-kernel efficiency).
+    pub host_cpus: usize,
+    /// 16-core, 50-epoch fleet sweep, per-cell governors, ms per run.
+    pub fleet_per_cell_ms: f64,
+    /// Same sweep with banked SoA stepping, ms per run.
+    pub fleet_banked_ms: f64,
+    /// Epochs of the 64-chip × 64-core cluster measurement.
+    pub cluster_epochs: usize,
+    /// 64×64 cluster (4096 governors), per-cell, µs per chip epoch
+    /// (amortized: total wall / epochs, including runner construction).
+    pub cluster_per_cell_epoch_us: f64,
+    /// Same cluster with banked stepping, µs per chip epoch.
+    pub cluster_banked_epoch_us: f64,
+}
+
+impl FleetBench {
+    /// `per_cell / banked` fleet-sweep ratio (> 1 means banked is faster).
+    pub fn fleet_speedup(&self) -> f64 {
+        self.fleet_per_cell_ms / self.fleet_banked_ms
+    }
+
+    /// `per_cell / banked` cluster-epoch ratio.
+    pub fn cluster_speedup(&self) -> f64 {
+        self.cluster_per_cell_epoch_us / self.cluster_banked_epoch_us
+    }
+}
+
+/// Runs the fleet/cluster measurement: the PR 7 baseline sweep
+/// (16 cores × 50 epochs) and a 64-chip × 64-core cluster epoch, each on
+/// the per-cell and the banked path.
+///
+/// # Errors
+///
+/// Propagates controller-synthesis failures as strings (the CLI's error
+/// currency).
+pub fn run_fleet() -> Result<FleetBench, String> {
+    let design = setup::design_mimo(InputSet::FreqCache, 1).map_err(|e| e.to_string())?;
+
+    let fleet = |banked: bool| -> f64 {
+        median_ns_per_iter(25, 1, || {
+            let cfg = mimo_fleet::FleetConfig::new(16)
+                .workers(1)
+                .epochs(50)
+                .seed(11)
+                .banked(banked);
+            let runner = mimo_fleet::FleetRunner::with_shared_controller(cfg, &design.controller)
+                .expect("validated fleet config");
+            black_box(runner.run().expect("validated fleet config").digest());
+        }) / 1e6
+    };
+    let fleet_per_cell_ms = fleet(false);
+    let fleet_banked_ms = fleet(true);
+
+    // 64 chips × 64 cores = 4096 governors. Amortized per-epoch cost:
+    // total wall (including construction) over the epoch count.
+    const CLUSTER_EPOCHS: usize = 24;
+    let cluster = |banked: bool| -> f64 {
+        median_ns_per_iter(7, 1, || {
+            let cfg = mimo_fleet::ClusterConfig::new(64, 64)
+                .shards(1)
+                .epochs(CLUSTER_EPOCHS)
+                .exchange_period(8)
+                .seed(17)
+                .banked(banked);
+            let runner = mimo_fleet::ClusterRunner::with_shared_controller(cfg, &design.controller)
+                .expect("validated cluster config");
+            black_box(runner.run().expect("validated cluster config").digest());
+        }) / 1e3
+            / CLUSTER_EPOCHS as f64
+    };
+    let cluster_per_cell_epoch_us = cluster(false);
+    let cluster_banked_epoch_us = cluster(true);
+
+    Ok(FleetBench {
+        host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        fleet_per_cell_ms,
+        fleet_banked_ms,
+        cluster_epochs: CLUSTER_EPOCHS,
+        cluster_per_cell_epoch_us,
+        cluster_banked_epoch_us,
+    })
+}
+
+/// Renders the fleet timings as the `BENCH_fleet.json` document.
+pub fn render_fleet_json(b: &FleetBench) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"mimo-exp-fleet-bench/1\",\n");
+    out.push_str(&format!("  \"host_cpus\": {},\n", b.host_cpus));
+    out.push_str(&format!(
+        "  \"fleet_16c_50e_ms\": {{ \"per_cell\": {:.3}, \"banked\": {:.3}, \"speedup\": {:.3} }},\n",
+        b.fleet_per_cell_ms,
+        b.fleet_banked_ms,
+        b.fleet_speedup()
+    ));
+    out.push_str(&format!(
+        "  \"cluster_64x64_epoch_us\": {{ \"per_cell\": {:.1}, \"banked\": {:.1}, \"speedup\": {:.3}, \"epochs\": {}, \"governors\": 4096 }}\n",
+        b.cluster_per_cell_epoch_us,
+        b.cluster_banked_epoch_us,
+        b.cluster_speedup(),
+        b.cluster_epochs
+    ));
+    out.push_str("}\n");
+    out
+}
+
 /// Renders the timings as the `BENCH_controller.json` document.
 pub fn render_json(b: &ControllerBench) -> String {
     let mut out = String::from("{\n");
@@ -164,6 +278,27 @@ mod tests {
         assert!(doc.contains("\"fleet_16c_50e_ms\""));
         assert!(doc.contains("\"speedup\": 1.500"));
         assert!((b.step_speedup() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_json_document_shape() {
+        let b = FleetBench {
+            host_cpus: 8,
+            fleet_per_cell_ms: 1.8,
+            fleet_banked_ms: 0.45,
+            cluster_epochs: 24,
+            cluster_per_cell_epoch_us: 9000.0,
+            cluster_banked_epoch_us: 3000.0,
+        };
+        let doc = render_fleet_json(&b);
+        assert!(doc.starts_with('{') && doc.ends_with("}\n"));
+        assert!(doc.contains("\"schema\": \"mimo-exp-fleet-bench/1\""));
+        assert!(doc.contains("\"host_cpus\": 8"));
+        assert!(doc.contains("\"fleet_16c_50e_ms\""));
+        assert!(doc.contains("\"cluster_64x64_epoch_us\""));
+        assert!(doc.contains("\"governors\": 4096"));
+        assert!((b.fleet_speedup() - 4.0).abs() < 1e-12);
+        assert!((b.cluster_speedup() - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -52,9 +52,13 @@ SUBCOMMANDS:
     fault-sweep  fault rate × arbitration policy on a 16-core fleet
     phase-step   spec-only scenario: stepped power/QoE reference schedule
     cluster-fault  spec-only scenario: mid-run chip fault on a cluster
+    cluster-bank  spec-only scenario: banked cluster with a mid-run bank
+                 eviction, pinned to the per-cell digest
     bench        time the LQG step and a 16-core fleet sweep on the
-                 dynamic and static storage paths; writes
-                 BENCH_controller.json to the results directory
+                 dynamic and static storage paths, plus banked vs
+                 per-cell fleet/cluster stepping (64×64 cluster); writes
+                 BENCH_controller.json and BENCH_fleet.json to the
+                 results directory
 
     Every non-bench subcommand is an alias for `run` on the embedded copy
     of the matching specs/<name>.toml file.
@@ -174,7 +178,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
     let shards_ok = matches!(
         cli.command.as_str(),
-        "cluster-scale" | "cluster-fault" | "run"
+        "cluster-scale" | "cluster-fault" | "cluster-bank" | "run"
     );
     if cli.shards.is_some() && !shards_ok {
         return Err(
@@ -362,7 +366,7 @@ fn collect_failure(name: &str, r: Result<(), String>) -> Vec<(String, String)> {
 }
 
 /// The complete evaluation suite: every embedded spec in the historical
-/// figure order, then the two spec-only scenarios. A failing step is
+/// figure order, then the spec-only scenarios. A failing step is
 /// reported and the rest of the suite still runs, so one bad cell costs
 /// one figure, not the whole evaluation.
 fn run_all(cfg: &ExpConfig, epochs: Option<usize>) -> Vec<(String, String)> {
@@ -389,6 +393,10 @@ fn run_all(cfg: &ExpConfig, epochs: Option<usize>) -> Vec<(String, String)> {
             "Scenario — stepped reference schedule (spec-only)",
         ),
         ("cluster-fault", "Scenario — mid-run chip fault (spec-only)"),
+        (
+            "cluster-bank",
+            "Scenario — banked cluster, mid-run bank eviction (spec-only)",
+        ),
     ];
     let ov = RunOverrides {
         epochs,
@@ -425,6 +433,27 @@ fn run_bench(cfg: &ExpConfig) -> Result<(), String> {
         .results
         .write_text("BENCH_controller.json", &doc)
         .map_err(|e| format!("write BENCH_controller.json: {e}"))?;
+    println!("wrote {}", path.display());
+
+    let f = mimo_exp::bench::run_fleet()?;
+    println!(
+        "fleet 16c/50e: {:.2} ms per-cell, {:.2} ms banked ({:.2}x), {} host cpus",
+        f.fleet_per_cell_ms,
+        f.fleet_banked_ms,
+        f.fleet_speedup(),
+        f.host_cpus
+    );
+    println!(
+        "cluster 64x64 (4096 governors): {:.0} us/epoch per-cell, {:.0} us/epoch banked ({:.2}x)",
+        f.cluster_per_cell_epoch_us,
+        f.cluster_banked_epoch_us,
+        f.cluster_speedup()
+    );
+    let doc = mimo_exp::bench::render_fleet_json(&f);
+    let path = cfg
+        .results
+        .write_text("BENCH_fleet.json", &doc)
+        .map_err(|e| format!("write BENCH_fleet.json: {e}"))?;
     println!("wrote {}", path.display());
     Ok(())
 }

@@ -1,11 +1,11 @@
-//! Index-ordered scoped-thread parallel map for the experiment grid.
+//! Index-ordered parallel map for the experiment grid.
 //!
 //! The paper's evaluation is an embarrassingly parallel grid — workload ×
 //! governor × configuration cells, each owning its own seeded plant — so
-//! the harness fans cells across a small hand-rolled worker pool (scoped
-//! threads plus an atomic work-stealing cursor, the same discipline as the
-//! fleet runtime; no external thread-pool dependency) and collects results
-//! **in cell-index order**. Determinism falls out of two rules:
+//! the harness fans cells across the shared persistent worker pool
+//! ([`mimo_fleet::pool::global`]; no external thread-pool dependency, no
+//! per-run thread spawns) and collects results **in cell-index order**.
+//! Determinism falls out of two rules:
 //!
 //! 1. every cell computes from its own index-derived seed, never from
 //!    shared mutable state, and
@@ -13,7 +13,6 @@
 //!
 //! Together they make CSVs and digests bit-identical at any job count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Environment variable consulted when no `--jobs` flag is given.
@@ -54,18 +53,20 @@ pub fn resolve_jobs(flag: Option<usize>) -> Result<usize, String> {
     }
 }
 
-/// Applies `f` to every item on up to `jobs` scoped worker threads and
+/// Applies `f` to every item on up to `jobs` shared-pool workers and
 /// returns the results **in item order**, regardless of which worker
 /// finished which cell first.
 ///
 /// `jobs <= 1` (or a grid of at most one cell) short-circuits to a plain
 /// serial map on the calling thread — same code path the workers run, no
-/// thread overhead. Work is distributed by an atomic cursor, so stragglers
-/// don't stall idle workers the way static chunking would.
+/// pool handoff. The pool hands out cell *indices* one at a time, so
+/// stragglers don't stall idle workers the way static chunking would —
+/// and because nested pool submissions execute inline, a cell that itself
+/// runs a fleet (or another `par_map`) cannot deadlock.
 ///
 /// # Panics
 ///
-/// A panic inside `f` propagates to the caller once the scope joins.
+/// A panic inside `f` propagates to the caller once the batch drains.
 pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -86,23 +87,14 @@ where
     // order no matter the completion order.
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("cell slot poisoned")
-                    .take()
-                    .expect("each cell index is claimed exactly once");
-                let r = f(i, item);
-                *results[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
+    mimo_fleet::pool::global().run_bounded(n, workers, &|i| {
+        let item = slots[i]
+            .lock()
+            .expect("cell slot poisoned")
+            .take()
+            .expect("each cell index is claimed exactly once");
+        let r = f(i, item);
+        *results[i].lock().expect("result slot poisoned") = Some(r);
     });
     results
         .into_iter()
@@ -148,6 +140,20 @@ mod tests {
             x
         });
         assert_eq!(got, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn nested_par_map_cannot_deadlock() {
+        // A cell that itself fans out — a spec grid whose cells run
+        // fleets, or a harness calling the harness. The shared pool runs
+        // nested submissions inline, so this must complete rather than
+        // wedge on the pool's single batch slot.
+        let outer = par_map(4, (0..6).collect::<Vec<usize>>(), |_, x| {
+            let inner = par_map(4, (0..5).collect::<Vec<usize>>(), |_, y| x * 10 + y);
+            inner.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..6).map(|x| (0..5).map(|y| x * 10 + y).sum()).collect();
+        assert_eq!(outer, expected);
     }
 
     #[test]

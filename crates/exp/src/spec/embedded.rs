@@ -28,7 +28,7 @@ macro_rules! embed {
 
 /// Every checked-in spec, in `run all` order (the two spec-only
 /// scenarios last).
-pub const EMBEDDED: [EmbeddedSpec; 13] = [
+pub const EMBEDDED: [EmbeddedSpec; 14] = [
     embed!("fig06", "fig06.toml"),
     embed!("fig07", "fig07.toml"),
     embed!("fig08", "fig08.toml"),
@@ -42,6 +42,7 @@ pub const EMBEDDED: [EmbeddedSpec; 13] = [
     embed!("fault-sweep", "fault_sweep.toml"),
     embed!("phase-step", "phase_step.toml"),
     embed!("cluster-fault", "cluster_fault.toml"),
+    embed!("cluster-bank", "cluster_bank.toml"),
 ];
 
 /// Looks an embedded spec up by its CLI alias.

@@ -40,7 +40,8 @@ impl FleetSpec {
             .seed(self.seed)
             .input_set(self.input_set)
             .apps(self.apps.clone())
-            .fault_rate(self.fault_rate);
+            .fault_rate(self.fault_rate)
+            .banked(self.banked);
         if let Some(cap) = self.power_cap {
             cfg = cfg.power_cap(cap);
         }
@@ -81,7 +82,8 @@ impl ClusterSpec {
             .seed(self.seed)
             .input_set(self.input_set)
             .apps(self.apps.clone())
-            .fault_rate(self.fault_rate);
+            .fault_rate(self.fault_rate)
+            .banked(self.banked);
         if let Some(cap) = self.power_cap {
             cfg = cfg.power_cap(cap);
         }
@@ -163,6 +165,7 @@ mod tests {
                 total_ways: 16,
                 sensitivity: None,
             }),
+            banked: true,
         }
     }
 
@@ -228,6 +231,7 @@ mod tests {
                 },
             }],
             llc: None,
+            banked: true,
         };
         let err = spec.lower(None, None).unwrap_err();
         assert!(err.msg.contains("chip 5"), "{err}");

@@ -199,6 +199,9 @@ pub struct FleetSpec {
     pub faults: Vec<CoreFault>,
     /// Shared-LLC contention model (default: off).
     pub llc: Option<LlcSpec>,
+    /// Structure-of-arrays governor banks (default true; results are
+    /// identical either way — `banked = false` forces the per-cell path).
+    pub banked: bool,
 }
 
 /// `kind = "cluster"`: chips × cores under a cluster arbiter.
@@ -231,6 +234,9 @@ pub struct ClusterSpec {
     pub faults: Vec<CoreFault>,
     /// Per-chip shared-LLC contention model (default: off).
     pub llc: Option<LlcSpec>,
+    /// Structure-of-arrays governor banks on every chip (default true;
+    /// results are identical either way).
+    pub banked: bool,
 }
 
 /// One scheduled fault: which core (and chip, for clusters), what kind,
@@ -595,6 +601,7 @@ impl FromValue for FleetSpec {
                 "fault_rate",
                 "faults",
                 "llc",
+                "banked",
             ],
             path,
         )?;
@@ -611,6 +618,7 @@ impl FromValue for FleetSpec {
             fault_rate: t.field_or("fault_rate", path, 0.0)?,
             faults: core_faults(t, path, false)?,
             llc: t.field_opt("llc", path)?,
+            banked: t.field_or("banked", path, true)?,
         })
     }
 }
@@ -633,6 +641,7 @@ impl FromValue for ClusterSpec {
                 "fault_rate",
                 "faults",
                 "llc",
+                "banked",
             ],
             path,
         )?;
@@ -650,6 +659,7 @@ impl FromValue for ClusterSpec {
             fault_rate: t.field_or("fault_rate", path, 0.0)?,
             faults: core_faults(t, path, true)?,
             llc: t.field_opt("llc", path)?,
+            banked: t.field_or("banked", path, true)?,
         })
     }
 }

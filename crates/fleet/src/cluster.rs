@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use mimo_core::governor::{fast_governor, Governor};
+use mimo_core::governor::Governor;
 use mimo_core::lqg::LqgController;
 use mimo_core::telemetry::TelemetryConfig;
 use mimo_sim::fault::FaultSpec;
@@ -87,6 +87,9 @@ pub struct ClusterConfig {
     pub core_faults: Vec<(usize, usize, FaultSpec)>,
     /// Per-core telemetry, applied to every chip.
     pub telemetry: TelemetryConfig,
+    /// Banked structure-of-arrays stepping on every chip (same semantics
+    /// as [`FleetConfig::banked`]; applies to shared-controller clusters).
+    pub banked: bool,
 }
 
 /// Seed stride between chips (an odd 64-bit constant, so the map from
@@ -116,7 +119,15 @@ impl ClusterConfig {
             fault_rate: 0.0,
             core_faults: Vec::new(),
             telemetry: TelemetryConfig::off(),
+            banked: true,
         }
+    }
+
+    /// Enables or disables banked stepping on every chip (builder style;
+    /// on by default).
+    pub fn banked(mut self, banked: bool) -> Self {
+        self.banked = banked;
+        self
     }
 
     /// Sets the shard count (builder style).
@@ -315,7 +326,8 @@ impl ClusterConfig {
             .apps(self.apps.clone())
             .cores(self.cores.clone())
             .fault_rate(self.fault_rate)
-            .observer(self.telemetry.clone());
+            .observer(self.telemetry.clone())
+            .banked(self.banked);
         cfg.llc = self.llc;
         for &(c, core, spec) in &self.core_faults {
             if c == chip {
@@ -358,7 +370,8 @@ impl From<FleetConfig> for ClusterConfig {
             .apps(fleet.apps)
             .cores(fleet.cores)
             .fault_rate(fleet.fault_rate)
-            .observer(fleet.telemetry);
+            .observer(fleet.telemetry)
+            .banked(fleet.banked);
         cfg.llc = fleet.llc;
         for (core, spec) in fleet.core_faults {
             cfg = cfg.core_fault(0, core, spec);
@@ -394,6 +407,11 @@ impl ClusterRunner {
             let mut per_core = |core: usize, spec: &CoreSpec| factory(chip, core, spec);
             chips.push(Chip::build(chip, chip_cfg, &mut per_core)?);
         }
+        Self::assemble(cfg, chips)
+    }
+
+    /// The arbiter-construction tail shared by every build path.
+    fn assemble(cfg: ClusterConfig, chips: Vec<Chip>) -> Result<Self> {
         let nominal: Vec<f64> = chips.iter().map(|c| 1.2 * c.n_cores() as f64).collect();
         let floors = vec![cfg.chip_floor_w(); cfg.n_chips];
         let priorities = vec![1.0; cfg.n_chips];
@@ -418,11 +436,22 @@ impl ClusterRunner {
     /// [`FleetRunner::with_shared_controller`](crate::FleetRunner::with_shared_controller)
     /// does.
     ///
+    /// When the controller's shape is banked-capable (and
+    /// [`ClusterConfig::banked`] is on), every chip additionally enrolls
+    /// its cores in a [`GovernorBank`](crate::bank::GovernorBank) and
+    /// steps them as one structure-of-arrays batch — bit-identical
+    /// decisions, identical digests, less wall-clock.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`ClusterRunner::new`].
     pub fn with_shared_controller(cfg: ClusterConfig, ctrl: &LqgController) -> Result<Self> {
-        ClusterRunner::new(cfg, |_, _, _| fast_governor(ctrl.clone()))
+        cfg.validate()?;
+        let mut chips = Vec::with_capacity(cfg.n_chips);
+        for chip in 0..cfg.n_chips {
+            chips.push(Chip::build_banked(chip, cfg.chip_config(chip), ctrl)?);
+        }
+        Self::assemble(cfg, chips)
     }
 
     /// The configuration this runner was built from.

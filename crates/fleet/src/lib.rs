@@ -55,20 +55,24 @@
 #![warn(missing_docs)]
 
 pub mod arbiter;
+pub mod bank;
 pub mod chip;
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod pool;
 pub mod runner;
 mod shard;
 pub mod stats;
 pub mod telemetry;
 
 pub use arbiter::{ArbitrationPolicy, BudgetArbiter, ClusterArbiter, CoreObs};
+pub use bank::GovernorBank;
 pub use chip::Chip;
 pub use cluster::{ClusterConfig, ClusterRunner};
 pub use config::{default_fleet_apps, CoreSpec, FleetConfig};
 pub use error::{FleetError, Result};
+pub use pool::WorkerPool;
 pub use runner::FleetRunner;
 pub use stats::{ChipSummary, ClusterStats, CoreStats, FleetStats};
 pub use telemetry::{ClusterTelemetry, CoreTelemetry, FleetTelemetry};

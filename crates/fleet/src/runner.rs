@@ -1,33 +1,37 @@
 //! The single-chip fleet runtime: lock-step epoch scheduling across worker
 //! threads.
 //!
-//! Every core owns a plant and a governor. Each 50 µs epoch proceeds in
-//! three beats:
+//! Every core owns a plant and a governor. The cores are partitioned into
+//! contiguous **bands** (one per worker), and each 50 µs epoch proceeds in
+//! three beats driven by the shared persistent [`WorkerPool`](crate::pool)
+//! — no per-run thread spawns, no per-epoch barriers:
 //!
-//! 1. **Step** — workers advance their cores: the governor consumes the
-//!    previous epoch's measurement and emits an actuation, the plant
-//!    applies it, and the measured `[IPS, power]` lands in a shared,
-//!    core-indexed observation table.
-//! 2. **Arbitrate** — after a barrier, one worker (the barrier leader)
-//!    runs the [`BudgetArbiter`] over the full table, producing next
-//!    epoch's per-core `[IPS, power]` references — and, when the config
-//!    enables shared-LLC contention, refreshes the per-core miss-pressure
-//!    penalties from the core-ordered way allocations.
-//! 3. **Retarget** — after a second barrier, every worker installs its
-//!    cores' new references (and LLC penalties) into their governors and
-//!    plants.
+//! 1. **Step** — a pool batch advances every band: the governor consumes
+//!    the previous epoch's measurement and emits an actuation, the plant
+//!    applies it, and the measured `[IPS, power]` lands in the band's
+//!    observation log. Fleets built from one shared controller step each
+//!    band's healthy cores through a structure-of-arrays
+//!    [`GovernorBank`](crate::GovernorBank) (bit-identical to per-cell
+//!    stepping); quarantined cores are evicted to the per-cell path.
+//! 2. **Arbitrate** — the submitting thread gathers the band logs in core
+//!    order, runs the [`BudgetArbiter`] over the full table to produce
+//!    next epoch's per-core `[IPS, power]` references — and, when the
+//!    config enables shared-LLC contention, refreshes the per-core
+//!    miss-pressure penalties from the core-ordered way allocations.
+//! 3. **Retarget** — a second pool batch installs every band's new
+//!    references (and LLC penalties) into its governors and plants.
 //!
 //! Determinism: core seeds derive from the base seed and core index only,
 //! the observation table is indexed by core, and the arbiter reduces in
 //! core order — so results are bit-identical no matter how many workers
-//! stepped the cores. The single-worker case runs the same code path with
-//! a one-party barrier.
+//! stepped the cores. The single-worker case runs the same code path
+//! serially inline.
 //!
 //! For multi-chip fleets, see [`ClusterRunner`](crate::ClusterRunner):
 //! whole chips become the unit of parallelism ([`Chip`](crate::Chip) steps
 //! a chip's beat serially) and this per-epoch barrier disappears.
 
-use std::sync::{Barrier, Mutex};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use mimo_core::governor::{fast_governor, Governor, MimoGovernor};
@@ -36,32 +40,35 @@ use mimo_linalg::Vector;
 use mimo_sim::llc::SharedLlc;
 
 use crate::arbiter::{BudgetArbiter, CoreObs};
+use crate::bank::BankKind;
 use crate::chip::{build_cells, CoreCell};
 use crate::config::{CoreSpec, FleetConfig};
 use crate::error::Result;
 use crate::stats::{CoreStats, FleetStats};
 use crate::telemetry::{CoreTelemetry, FleetTelemetry};
 
-/// State exchanged between workers once per epoch.
-struct Shared {
-    obs: Vec<CoreObs>,
-    targets: Vec<Vector>,
-    arbiter: BudgetArbiter,
-    /// Quarantine latch per core; once set, the arbiter pins that core at
-    /// the floor budget and redistributes the rest.
-    quarantined: Vec<bool>,
-    /// Applied L2 ways per core, refreshed each epoch — only read when the
-    /// contention model is on.
-    ways: Vec<f64>,
-    /// The shared-LLC contention model; `None` leaves the hot loop
-    /// bit-identical to the pre-contention runtime.
-    llc: Option<SharedLlc>,
+/// One worker's contiguous slice of the fleet, plus its governor bank.
+struct Band<'a> {
+    cells: &'a mut [CoreCell],
+    /// Batched SoA governor for this band's healthy cores; `None` when the
+    /// fleet has no shared controller prototype or banking is disabled.
+    bank: Option<BankKind>,
+    /// Band-local cell position → bank slot; `None` once evicted.
+    slots: Vec<Option<usize>>,
+    /// Per-epoch observation log in band-local cell order:
+    /// `(obs, quarantine latch, applied L2 ways)`.
+    log: Vec<(CoreObs, bool, f64)>,
 }
 
 /// Runs a fleet of independently governed cores under one chip budget.
 pub struct FleetRunner {
     cfg: FleetConfig,
     cells: Vec<CoreCell>,
+    /// The shared controller prototype, kept so the run can build per-band
+    /// [`GovernorBank`](crate::GovernorBank)s; `None` for heterogeneous
+    /// (factory-built) or deliberately dynamic fleets, which always step
+    /// per-cell.
+    proto: Option<LqgController>,
 }
 
 impl FleetRunner {
@@ -78,7 +85,11 @@ impl FleetRunner {
         F: FnMut(usize, &CoreSpec) -> Box<dyn Governor + Send>,
     {
         let cells = build_cells(&cfg, &mut factory)?;
-        Ok(FleetRunner { cfg, cells })
+        Ok(FleetRunner {
+            cfg,
+            cells,
+            proto: None,
+        })
     }
 
     /// Builds the fleet with every core running a clone of one synthesized
@@ -88,14 +99,19 @@ impl FleetRunner {
     /// Each per-core clone is wrapped by
     /// [`mimo_core::governor::fast_governor`], so controllers whose shape
     /// matches a reference architecture step on stack-allocated fixed-size
-    /// kernels. The static path is bit-identical to the dynamic one — the
+    /// kernels. When [`FleetConfig::banked`] is on (the default) and the
+    /// shape matches, each worker's cores additionally step as one
+    /// structure-of-arrays [`GovernorBank`](crate::GovernorBank) batch.
+    /// Both fast paths are bit-identical to the dynamic per-cell one — the
     /// fleet digests do not move.
     ///
     /// # Errors
     ///
     /// Same conditions as [`FleetRunner::new`].
     pub fn with_shared_controller(cfg: FleetConfig, ctrl: &LqgController) -> Result<Self> {
-        FleetRunner::new(cfg, |_, _| fast_governor(ctrl.clone()))
+        let mut runner = FleetRunner::new(cfg, |_, _| fast_governor(ctrl.clone()))?;
+        runner.proto = Some(ctrl.clone());
+        Ok(runner)
     }
 
     /// Like [`FleetRunner::with_shared_controller`], but pins every core to
@@ -145,99 +161,154 @@ impl FleetRunner {
             None => None,
         };
         let contended = llc.is_some();
-        let shared = Mutex::new(Shared {
-            obs: vec![
-                CoreObs {
-                    ips: 0.0,
-                    power: 0.0
-                };
-                n
-            ],
-            targets: vec![base.clone(); n],
-            arbiter: BudgetArbiter::new(
-                self.cfg.chip_power_cap_w,
-                self.cfg.policy,
-                self.cfg.base_targets,
-                priorities,
-            ),
-            quarantined: vec![false; n],
-            ways: vec![0.0; n],
-            llc,
-        });
-        // chunks_mut may produce fewer chunks than requested workers when
-        // n is small; the barrier must match the actual party count.
+        let mut obs = vec![
+            CoreObs {
+                ips: 0.0,
+                power: 0.0
+            };
+            n
+        ];
+        let mut arbiter = BudgetArbiter::new(
+            self.cfg.chip_power_cap_w,
+            self.cfg.policy,
+            self.cfg.base_targets,
+            priorities,
+        );
+        // Quarantine latch per core; once set, the arbiter pins that core
+        // at the floor budget and redistributes the rest.
+        let mut quarantined = vec![false; n];
+        // Applied L2 ways per core, refreshed each epoch — only read when
+        // the contention model is on.
+        let mut ways = vec![0.0; n];
+        let mut llc = llc;
+        let mut targets = vec![base.clone(); n];
+        // chunks_mut may produce fewer bands than requested workers when
+        // n is small; the stats record the actual band count.
         let parties = if n == 0 { 1 } else { n.div_ceil(chunk) };
-        let barrier = Barrier::new(parties);
+        let banked = self.cfg.banked;
+        let proto = self.proto.as_ref();
 
         let started = Instant::now();
-        std::thread::scope(|scope| {
-            for band in self.cells.chunks_mut(chunk) {
-                let shared = &shared;
-                let barrier = &barrier;
-                scope.spawn(move || {
-                    let mut local: Vec<(CoreObs, bool, f64)> = Vec::with_capacity(band.len());
-                    for _ in 0..epochs {
-                        // Beat 1: step this worker's cores; react to fresh
-                        // quarantines by installing the fallback governor.
-                        local.clear();
-                        for cell in band.iter_mut() {
-                            let (obs, quarantined_now) = cell.step();
-                            if quarantined_now {
-                                cell.handle_quarantine();
-                            }
-                            // Report the live latch: a core the fallback
-                            // rescues regains budget; a permanently faulted
-                            // one re-latches and stays pinned at the floor.
-                            let ways = if contended {
-                                cell.applied_l2_ways()
-                            } else {
-                                0.0
-                            };
-                            local.push((obs, cell.lp.is_quarantined(), ways));
+        {
+            let bands: Vec<Mutex<Band>> = self
+                .cells
+                .chunks_mut(chunk)
+                .map(|cells| {
+                    let mut bank = if banked {
+                        proto.and_then(BankKind::try_new)
+                    } else {
+                        None
+                    };
+                    let mut slots = vec![None; cells.len()];
+                    if let Some(bank) = bank.as_mut() {
+                        // Slots are keyed by band-local cell position so an
+                        // eviction's swap-remove remap stays band-internal.
+                        for (pos, entry) in slots.iter_mut().enumerate() {
+                            let slot = bank.enroll(pos);
+                            bank.set_target(slot, &base);
+                            *entry = Some(slot);
                         }
-                        {
-                            let mut s = shared.lock().unwrap();
-                            for (cell, &(o, q, w)) in band.iter().zip(&local) {
-                                s.obs[cell.idx] = o;
-                                s.quarantined[cell.idx] = q;
-                                if contended {
-                                    s.ways[cell.idx] = w;
+                    }
+                    let log = Vec::with_capacity(cells.len());
+                    Mutex::new(Band {
+                        cells,
+                        bank,
+                        slots,
+                        log,
+                    })
+                })
+                .collect();
+            let pool = crate::pool::global();
+            for _ in 0..epochs {
+                // Beat 1: one pool batch steps every band — the bank
+                // advances the healthy cores as one SoA batch, fresh
+                // quarantines install the fallback governor and evict the
+                // core from its band's bank.
+                pool.run_bounded(bands.len(), workers, &|bi| {
+                    let mut band = bands[bi].lock().unwrap();
+                    let Band {
+                        cells,
+                        bank,
+                        slots,
+                        log,
+                    } = &mut *band;
+                    log.clear();
+                    if let Some(bank) = bank.as_mut() {
+                        for (pos, cell) in cells.iter().enumerate() {
+                            if let Some(slot) = slots[pos] {
+                                bank.load_measurement(slot, cell.lp.outputs().as_slice());
+                            }
+                        }
+                        bank.step_all();
+                    }
+                    for (pos, cell) in cells.iter_mut().enumerate() {
+                        let (obs, quarantined_now) = match (&*bank, slots[pos]) {
+                            (Some(bank), Some(slot)) => cell.step_banked(bank.decision(slot)),
+                            _ => cell.step(),
+                        };
+                        if quarantined_now {
+                            cell.handle_quarantine();
+                            if let (Some(bank), Some(slot)) = (bank.as_mut(), slots[pos].take()) {
+                                if let Some(moved) = bank.evict(slot) {
+                                    slots[moved] = Some(slot);
                                 }
                             }
                         }
-                        // Beat 2: leader arbitrates over the full table and
-                        // refreshes the contention penalties in core order.
-                        if barrier.wait().is_leader() {
-                            let mut s = shared.lock().unwrap();
-                            let obs = std::mem::take(&mut s.obs);
-                            let quarantined = std::mem::take(&mut s.quarantined);
-                            s.targets = s.arbiter.arbitrate_with_quarantine(&obs, &quarantined);
-                            s.obs = obs;
-                            s.quarantined = quarantined;
-                            let ways = std::mem::take(&mut s.ways);
-                            if let Some(llc) = &mut s.llc {
-                                llc.update(&ways);
-                            }
-                            s.ways = ways;
+                        // Report the live latch: a core the fallback
+                        // rescues regains budget; a permanently faulted
+                        // one re-latches and stays pinned at the floor.
+                        let ways = if contended {
+                            cell.applied_l2_ways()
+                        } else {
+                            0.0
+                        };
+                        log.push((obs, cell.lp.is_quarantined(), ways));
+                    }
+                });
+                // Beat 2: the submitting thread gathers the band logs into
+                // the core-indexed table, arbitrates over it, and refreshes
+                // the contention penalties in core order.
+                for band in &bands {
+                    let band = band.lock().unwrap();
+                    for (cell, &(o, q, w)) in band.cells.iter().zip(&band.log) {
+                        obs[cell.idx] = o;
+                        quarantined[cell.idx] = q;
+                        if contended {
+                            ways[cell.idx] = w;
                         }
-                        // Beat 3: everyone installs the new references.
-                        barrier.wait();
-                        {
-                            let s = shared.lock().unwrap();
-                            for cell in band.iter_mut() {
-                                cell.retarget(&s.targets[cell.idx]);
-                                if let Some(llc) = &s.llc {
-                                    cell.set_llc_penalty(llc.penalty(cell.idx));
-                                }
-                            }
+                    }
+                }
+                targets = arbiter.arbitrate_with_quarantine(&obs, &quarantined);
+                if let Some(llc) = &mut llc {
+                    llc.update(&ways);
+                }
+                // Beat 3: a second pool batch installs the new references.
+                let targets = &targets;
+                let llc = llc.as_ref();
+                pool.run_bounded(bands.len(), workers, &|bi| {
+                    let mut band = bands[bi].lock().unwrap();
+                    let Band {
+                        cells, bank, slots, ..
+                    } = &mut *band;
+                    for (pos, cell) in cells.iter_mut().enumerate() {
+                        let target = &targets[cell.idx];
+                        if let (Some(bank), Some(slot)) = (bank.as_mut(), slots[pos]) {
+                            // The cell's boxed governor is stale while the
+                            // bank steps for it; retarget the bank slot and
+                            // the cell's error-tracking reference only.
+                            cell.target.copy_from(target);
+                            bank.set_target(slot, target);
+                        } else {
+                            cell.retarget(target);
+                        }
+                        if let Some(llc) = llc {
+                            cell.set_llc_penalty(llc.penalty(cell.idx));
                         }
                     }
                 });
             }
-        });
+        }
         let wall_s = started.elapsed().as_secs_f64();
-
-        let arbiter = shared.into_inner().unwrap().arbiter;
         let mut per_core: Vec<CoreStats> = Vec::with_capacity(self.cells.len());
         let mut per_core_telemetry: Vec<CoreTelemetry> = Vec::new();
         for cell in self.cells {

@@ -1,21 +1,22 @@
-//! Chip sharding: whole chips on worker threads, rendezvous only at
+//! Chip sharding: whole chips on pool workers, rendezvous only at
 //! exchange windows.
 //!
 //! Unlike the single-chip [`FleetRunner`](crate::FleetRunner), which
-//! barriers its workers twice per epoch, the cluster shards synchronize
-//! only every [`exchange_period`](crate::ClusterConfig::exchange_period)
-//! chip epochs. Each shard owns a contiguous run of chips and steps each
-//! of them through the whole window back to back — the hot loop takes no
-//! locks at all. At the window boundary every shard deposits its chips'
-//! published [`ChipSummary`](crate::ChipSummary) snapshots under one
-//! mutex; whichever shard arrives *last* reduces the summaries in chip
-//! order, asks the [`ClusterArbiter`](crate::ClusterArbiter) for fresh
-//! per-chip caps, and wakes the others. Arrival order therefore affects
-//! only who performs the reduction, never its operand order — which is
-//! what keeps [`ClusterStats`](crate::ClusterStats) bit-identical at any
-//! shard count.
+//! synchronizes its workers twice per epoch, the cluster shards
+//! synchronize only every
+//! [`exchange_period`](crate::ClusterConfig::exchange_period) chip epochs.
+//! Each window is one batch on the shared persistent
+//! [`WorkerPool`](crate::pool): every shard owns a contiguous run of chips
+//! and steps each of them through the whole window back to back — the hot
+//! loop takes no locks beyond the uncontended per-shard mutex. Between
+//! batches the submitting thread gathers the chips' published
+//! [`ChipSummary`](crate::ChipSummary) snapshots in chip order, asks the
+//! [`ClusterArbiter`](crate::ClusterArbiter) for fresh per-chip caps, and
+//! installs them. The reduction always runs on one thread in chip order —
+//! which is what keeps [`ClusterStats`](crate::ClusterStats) bit-identical
+//! at any shard count.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::arbiter::ClusterArbiter;
@@ -31,20 +32,6 @@ pub(crate) struct ShardOutcome {
     /// Largest window-mean cluster power observed at any window boundary,
     /// watts (chip-order sum of per-chip window means).
     pub peak_window_power_w: f64,
-}
-
-/// Shared state of one window rendezvous.
-struct Exchange {
-    /// Summary slots, indexed by chip; all `Some` once every shard has
-    /// deposited.
-    summaries: Vec<Option<ChipSummary>>,
-    /// Current per-chip caps, refreshed by the last-arriving shard.
-    caps: Vec<f64>,
-    /// Chips deposited so far this window.
-    arrived: usize,
-    /// Windows fully completed — the generation counter shards wait on.
-    window: usize,
-    peak_window_power_w: f64,
 }
 
 /// Runs `chips` for `epochs` chip epochs, sharded `shards` ways, with a
@@ -67,7 +54,7 @@ pub(crate) fn run_sharded(
         chip.set_power_cap(caps[chip.index()]);
     }
     // Window plan: full `period`-epoch windows plus a possibly-shorter
-    // tail. Shards must agree on the count, so it derives from config only.
+    // tail. Derived from config only, so it cannot depend on timing.
     let n_windows = epochs
         .div_ceil(period.max(1))
         .max(if epochs == 0 { 0 } else { 1 });
@@ -79,83 +66,60 @@ pub(crate) fn run_sharded(
         };
     }
 
-    let state = Mutex::new(Exchange {
-        summaries: vec![None; n_chips],
-        caps,
-        arrived: 0,
-        window: 0,
-        peak_window_power_w: 0.0,
-    });
-    let ready = Condvar::new();
-    let arbiter_cell = Mutex::new(arbiter);
-
     // Contiguous deal: ceil(n/shards) chips per shard, so chip order is
     // preserved within and across shards.
     let chunk = n_chips.div_ceil(shards);
-    std::thread::scope(|scope| {
-        for shard_chips in chips.chunks_mut(chunk) {
-            let state = &state;
-            let ready = &ready;
-            let arbiter_cell = &arbiter_cell;
-            scope.spawn(move || {
-                for window in 0..n_windows {
-                    let win_epochs = (epochs - window * period).min(period);
-                    for chip in shard_chips.iter_mut() {
-                        // Per-chip wall clock covers stepping only; the
-                        // rendezvous wait below is the shard's overhead.
-                        let t0 = Instant::now();
-                        for _ in 0..win_epochs {
-                            chip.step_epoch();
-                        }
-                        chip.add_wall(t0.elapsed().as_secs_f64());
-                    }
-                    // Rendezvous: deposit, and let the last arriver run
-                    // the exchange.
-                    let mut st = state.lock().expect("exchange mutex poisoned");
-                    for chip in shard_chips.iter_mut() {
-                        st.summaries[chip.index()] = Some(chip.publish());
-                    }
-                    st.arrived += shard_chips.len();
-                    if st.arrived == n_chips {
-                        let summaries: Vec<ChipSummary> = st
-                            .summaries
-                            .iter_mut()
-                            .map(|slot| slot.take().expect("summary slot empty"))
-                            .collect();
-                        // Chip-order reduction: the window's cluster power
-                        // is the sum of per-chip window means.
-                        let window_power: f64 = summaries.iter().map(|s| s.avg_power_w).sum();
-                        if window_power > st.peak_window_power_w {
-                            st.peak_window_power_w = window_power;
-                        }
-                        if window + 1 < n_windows {
-                            let mut arb = arbiter_cell.lock().expect("arbiter mutex poisoned");
-                            st.caps = arb.rebudget(&summaries);
-                        }
-                        st.arrived = 0;
-                        st.window += 1;
-                        ready.notify_all();
-                    } else {
-                        while st.window <= window {
-                            st = ready.wait(st).expect("exchange condvar poisoned");
-                        }
-                    }
-                    // Install the fresh caps before the next window.
-                    if window + 1 < n_windows {
-                        for chip in shard_chips.iter_mut() {
-                            chip.set_power_cap(st.caps[chip.index()]);
-                        }
-                    }
+    let shard_chips: Vec<Mutex<&mut [Chip]>> = chips.chunks_mut(chunk).map(Mutex::new).collect();
+    let pool = crate::pool::global();
+    let mut peak_window_power_w = 0.0f64;
+    let mut summaries: Vec<ChipSummary> = Vec::with_capacity(n_chips);
+    for window in 0..n_windows {
+        let win_epochs = (epochs - window * period).min(period);
+        // One pool batch per window: each shard steps its chips through
+        // the whole window back to back.
+        pool.run_bounded(shard_chips.len(), shards, &|si| {
+            let mut shard = shard_chips[si].lock().expect("shard mutex poisoned");
+            for chip in shard.iter_mut() {
+                // Per-chip wall clock covers stepping only; the gather
+                // below is the cluster's overhead.
+                let t0 = Instant::now();
+                for _ in 0..win_epochs {
+                    chip.step_epoch();
                 }
-            });
+                chip.add_wall(t0.elapsed().as_secs_f64());
+            }
+        });
+        // Exchange on the submitting thread: gather summaries in chip
+        // order (shards hold contiguous runs, so shard-major iteration is
+        // chip order) and reduce.
+        summaries.clear();
+        for shard in &shard_chips {
+            let mut shard = shard.lock().expect("shard mutex poisoned");
+            for chip in shard.iter_mut() {
+                summaries.push(chip.publish());
+            }
         }
-    });
+        // Chip-order reduction: the window's cluster power is the sum of
+        // per-chip window means.
+        let window_power: f64 = summaries.iter().map(|s| s.avg_power_w).sum();
+        if window_power > peak_window_power_w {
+            peak_window_power_w = window_power;
+        }
+        // Install the fresh caps before the next window.
+        if window + 1 < n_windows {
+            let caps = arbiter.rebudget(&summaries);
+            for shard in &shard_chips {
+                let mut shard = shard.lock().expect("shard mutex poisoned");
+                for chip in shard.iter_mut() {
+                    chip.set_power_cap(caps[chip.index()]);
+                }
+            }
+        }
+    }
 
-    let st = state.into_inner().expect("exchange mutex poisoned");
-    let arb = arbiter_cell.into_inner().expect("arbiter mutex poisoned");
     ShardOutcome {
-        exchanges: arb.exchanges(),
-        rebudget_moves: arb.rebudget_moves(),
-        peak_window_power_w: st.peak_window_power_w,
+        exchanges: arbiter.exchanges(),
+        rebudget_moves: arbiter.rebudget_moves(),
+        peak_window_power_w,
     }
 }
